@@ -1,0 +1,68 @@
+"""Figure 2: spreading-method comparison (GM vs GM-sort vs SM).
+
+Regenerates, for 2D and 3D, "rand" and "cluster" distributions, rho = 1 and
+eps = 1e-5 (single precision), the execution time per nonuniform point of the
+three spreading methods, both including ("total") and excluding ("spread") the
+bin-sorting precomputation -- the series of paper Fig. 2, with the GM-sort and
+SM speedups over GM annotated per grid size.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit, stats_for
+from repro.metrics import model_cufinufft
+
+FINE_SIZES = {2: [128, 256, 512, 1024, 2048, 4096], 3: [32, 64, 128, 256, 512]}
+EPS = 1e-5
+METHODS = ["GM", "GM-sort", "SM"]
+
+
+def run_fig2():
+    rows = []
+    for ndim, sizes in FINE_SIZES.items():
+        for dist in ("rand", "cluster"):
+            for n_fine in sizes:
+                fine_shape = (n_fine,) * ndim
+                n_modes = tuple(n // 2 for n in fine_shape)
+                m = int(np.prod(fine_shape))  # rho = 1
+                stats = stats_for(dist, m, n_modes, EPS, fine_shape=fine_shape)
+                per_method = {}
+                for method in METHODS:
+                    r = model_cufinufft(
+                        1, n_modes, m, EPS, method=method, distribution=dist,
+                        spread_only=True, fine_shape=fine_shape, stats=stats,
+                    )
+                    per_method[method] = r
+                gm_total = per_method["GM"].ns_per_point("total")
+                rows.append([
+                    f"{ndim}D", dist, n_fine,
+                    gm_total,
+                    per_method["GM-sort"].ns_per_point("exec"),
+                    per_method["GM-sort"].ns_per_point("total"),
+                    per_method["SM"].ns_per_point("exec"),
+                    per_method["SM"].ns_per_point("total"),
+                    gm_total / per_method["GM-sort"].ns_per_point("total"),
+                    gm_total / per_method["SM"].ns_per_point("total"),
+                ])
+    emit(
+        "fig2_spread_methods",
+        "Fig. 2 -- spreading methods, eps=1e-5, rho=1, single precision (ns per NU point)",
+        ["dim", "dist", "n_fine", "GM total", "GM-sort spread", "GM-sort total",
+         "SM spread", "SM total", "GM-sort speedup", "SM speedup"],
+        rows,
+    )
+    return rows
+
+
+def test_fig2_spread_methods(benchmark):
+    rows = benchmark.pedantic(run_fig2, iterations=1, rounds=1)
+    # shape checks mirroring the paper's annotations: on the largest 2D "rand"
+    # grid bin-sorting wins clearly, and SM is distribution-robust.
+    largest_2d_rand = [r for r in rows if r[0] == "2D" and r[1] == "rand"][-1]
+    assert largest_2d_rand[8] > 2.0          # GM-sort speedup over GM
+    largest_2d_cluster = [r for r in rows if r[0] == "2D" and r[1] == "cluster"][-1]
+    assert largest_2d_cluster[9] > 5.0       # SM speedup over GM on clustered points
+
+
+if __name__ == "__main__":
+    run_fig2()

@@ -1,0 +1,56 @@
+"""Figure 3: interpolation-method comparison (GM vs GM-sort), "rand" points.
+
+Regenerates the type-2 interpolation timings of paper Fig. 3: execution time
+per nonuniform point with and without the bin-sorting precomputation, for 2D
+and 3D fine grids at rho = 1 and eps = 1e-5.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit, stats_for
+from repro.metrics import model_cufinufft
+
+FINE_SIZES = {2: [128, 256, 512, 1024, 2048, 4096], 3: [32, 64, 128, 256, 512]}
+EPS = 1e-5
+
+
+def run_fig3():
+    rows = []
+    for ndim, sizes in FINE_SIZES.items():
+        for n_fine in sizes:
+            fine_shape = (n_fine,) * ndim
+            n_modes = tuple(n // 2 for n in fine_shape)
+            m = int(np.prod(fine_shape))
+            stats = stats_for("rand", m, n_modes, EPS, fine_shape=fine_shape)
+            gm = model_cufinufft(2, n_modes, m, EPS, method="GM", spread_only=True,
+                                 fine_shape=fine_shape, stats=stats)
+            gms = model_cufinufft(2, n_modes, m, EPS, method="GM-sort", spread_only=True,
+                                  fine_shape=fine_shape, stats=stats)
+            rows.append([
+                f"{ndim}D", n_fine,
+                gm.ns_per_point("total"),
+                gms.ns_per_point("exec"),
+                gms.ns_per_point("total"),
+                gm.ns_per_point("total") / gms.ns_per_point("total"),
+            ])
+    emit(
+        "fig3_interp_methods",
+        "Fig. 3 -- interpolation methods, rand, eps=1e-5, rho=1 (ns per NU point)",
+        ["dim", "n_fine", "GM total", "GM-sort interp", "GM-sort total", "GM-sort speedup"],
+        rows,
+    )
+    return rows
+
+
+def test_fig3_interp_methods(benchmark):
+    rows = benchmark.pedantic(run_fig3, iterations=1, rounds=1)
+    # bin-sorting helps on the largest grids in both dimensions (paper: 4.5x / 12.7x)
+    assert [r for r in rows if r[0] == "2D"][-1][5] > 2.0
+    assert [r for r in rows if r[0] == "3D"][-1][5] > 2.0
+    # the sorted interpolation (excluding the sort) is never slower than GM
+    for r in rows:
+        assert r[3] <= r[2] * 1.05
+
+
+if __name__ == "__main__":
+    run_fig3()

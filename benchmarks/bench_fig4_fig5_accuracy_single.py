@@ -1,0 +1,75 @@
+"""Figures 4 and 5: single-precision library comparison vs accuracy.
+
+For 2D (N = 1000^2) and 3D (N = 100^3) with M = 1e7 "rand" points, sweeps the
+requested tolerance and reports, for every library the paper plots
+(FINUFFT, cuFINUFFT SM, cuFINUFFT GM-sort, CUNFFT, gpuNUFFT):
+
+* Fig. 4 -- "total+mem" time per nonuniform point ("total" for the CPU
+  library, which has no transfers), plus the delivered-error estimate;
+* Fig. 5 -- "exec" time per nonuniform point (gpuNUFFT excluded, as in the
+  paper).
+"""
+
+from benchmarks.common import emit, library_times, stats_for
+
+M = 10_000_000
+EPS_SWEEP = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+LIBRARIES = ["finufft", "cufinufft (SM)", "cufinufft (GM-sort)", "cunfft", "gpunufft"]
+CASES = [(2, (1000, 1000)), (3, (100, 100, 100))]
+
+
+def run_fig4_fig5():
+    fig4_rows = []
+    fig5_rows = []
+    for nufft_type in (1, 2):
+        for ndim, n_modes in CASES:
+            for eps in EPS_SWEEP:
+                stats = stats_for("rand", M, n_modes, eps)
+                row4 = [f"{ndim}D", f"type{nufft_type}", eps]
+                row5 = [f"{ndim}D", f"type{nufft_type}", eps]
+                for lib in LIBRARIES:
+                    r = library_times(lib, nufft_type, n_modes, M, eps, stats=stats)
+                    if r is None:
+                        row4.append(float("nan"))
+                        row5.append(float("nan"))
+                        continue
+                    row4.append(r.ns_per_point("total+mem"))
+                    if lib != "gpunufft":
+                        row5.append(r.ns_per_point("exec"))
+                    else:
+                        row5.append(float("nan"))
+                fig4_rows.append(row4)
+                fig5_rows.append(row5)
+
+    emit(
+        "fig4_total_mem_single",
+        "Fig. 4 -- single precision, total+mem ns per NU point, rand, M=1e7",
+        ["dim", "type", "eps"] + LIBRARIES,
+        fig4_rows,
+    )
+    emit(
+        "fig5_exec_single",
+        "Fig. 5 -- single precision, exec ns per NU point, rand, M=1e7",
+        ["dim", "type", "eps"] + LIBRARIES,
+        fig5_rows,
+    )
+    return fig4_rows, fig5_rows
+
+
+def test_fig4_fig5_accuracy_single(benchmark):
+    fig4_rows, fig5_rows = benchmark.pedantic(run_fig4_fig5, iterations=1, rounds=1)
+    sm_col = 3 + LIBRARIES.index("cufinufft (SM)")
+    fin_col = 3 + LIBRARIES.index("finufft")
+    gpn_col = 3 + LIBRARIES.index("gpunufft")
+    for row in fig4_rows:
+        if row[1] == "type1":
+            # cuFINUFFT outperforms every other library for type 1 (paper Sec. IV-C)
+            assert row[sm_col] < row[fin_col]
+            assert row[sm_col] < row[gpn_col]
+    for row in fig5_rows:
+        # "exec" speedups vs FINUFFT persist across the accuracy sweep
+        assert row[sm_col] < row[fin_col]
+
+
+if __name__ == "__main__":
+    run_fig4_fig5()

@@ -1,0 +1,76 @@
+"""Figure 6: distribution sensitivity at eps = 1e-2 (single precision, 2D).
+
+Sweeps the number of modes N = 2^6 .. 2^11 at rho = 1 for "rand" and "cluster"
+points, reporting exec / total / total+mem per nonuniform point for the five
+libraries and the speedup of cuFINUFFT's exec over FINUFFT's exec (the
+annotations of paper Fig. 6).  The headline behaviours: cuFINUFFT (SM) and
+gpuNUFFT are distribution-robust, cuFINUFFT (GM-sort) slows by a small factor
+on clustered type-1 points, and CUNFFT collapses (the paper measures ~200x).
+"""
+
+from benchmarks.common import emit, library_times, stats_for
+
+EPS = 1e-2
+SIZES = [64, 128, 256, 512, 1024, 2048]
+LIBRARIES = ["finufft", "cufinufft (SM)", "cufinufft (GM-sort)", "cunfft", "gpunufft"]
+
+
+def run_fig6():
+    rows = []
+    for nufft_type in (1, 2):
+        for dist in ("rand", "cluster"):
+            for n in SIZES:
+                n_modes = (n, n)
+                m = 4 * n * n  # rho = 1 on the 2x-upsampled grid
+                stats = stats_for(dist, m, n_modes, EPS)
+                results = {
+                    lib: library_times(lib, nufft_type, n_modes, m, EPS,
+                                       distribution=dist, stats=stats)
+                    for lib in LIBRARIES
+                }
+                cufi = results["cufinufft (SM)" if nufft_type == 1 else "cufinufft (GM-sort)"]
+                speedup_vs_finufft = (
+                    results["finufft"].times["exec"] / cufi.times["exec"]
+                )
+                rows.append(
+                    [f"type{nufft_type}", dist, n]
+                    + [results[lib].ns_per_point("exec") for lib in LIBRARIES]
+                    + [results[lib].ns_per_point("total+mem") for lib in LIBRARIES]
+                    + [speedup_vs_finufft]
+                )
+    emit(
+        "fig6_distribution",
+        "Fig. 6 -- 2D, eps=1e-2, rho=1, rand vs cluster (ns per NU point)",
+        ["type", "dist", "N"]
+        + [f"exec {lib}" for lib in LIBRARIES]
+        + [f"tot+mem {lib}" for lib in LIBRARIES]
+        + ["cufinufft exec speedup vs finufft"],
+        rows,
+    )
+    return rows
+
+
+def test_fig6_distribution(benchmark):
+    rows = benchmark.pedantic(run_fig6, iterations=1, rounds=1)
+    exec_cols = {lib: 3 + i for i, lib in enumerate(LIBRARIES)}
+
+    def pick(nufft_type, dist, n):
+        return next(r for r in rows if r[0] == nufft_type and r[1] == dist and r[2] == n)
+
+    # CUNFFT collapses on clustered type-1 transforms; cuFINUFFT (SM) does not.
+    cunfft_ratio = (
+        pick("type1", "cluster", 512)[exec_cols["cunfft"]]
+        / pick("type1", "rand", 512)[exec_cols["cunfft"]]
+    )
+    sm_ratio = (
+        pick("type1", "cluster", 512)[exec_cols["cufinufft (SM)"]]
+        / pick("type1", "rand", 512)[exec_cols["cufinufft (SM)"]]
+    )
+    assert cunfft_ratio > 20
+    assert sm_ratio < 2
+    # the exec speedup of cuFINUFFT over FINUFFT is substantial everywhere
+    assert all(r[-1] > 3 for r in rows)
+
+
+if __name__ == "__main__":
+    run_fig6()

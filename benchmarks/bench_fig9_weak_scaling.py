@@ -1,0 +1,52 @@
+"""Figure 9: single-node multi-GPU weak scaling on Cori GPU and Summit.
+
+Fixes the per-rank Table II problems and grows the number of MPI ranks from 1
+to twice the node's GPU count, reporting the per-rank setup / exec / total
+times and the weak-scaling efficiency.  The paper observes close-to-ideal weak
+scaling (flat lines) up to one rank per GPU and rapid deterioration beyond.
+"""
+
+from benchmarks.common import bench_sample_size, emit
+from repro.cluster import CORI_GPU_NODE, SUMMIT_NODE, run_weak_scaling
+
+TASKS = [
+    ("slicing (type 2)", 2, (41, 41, 41), 1_020_000),
+    ("merging (type 1)", 1, (81, 81, 81), 16_400_000),
+]
+
+
+def run_fig9():
+    rows = []
+    curves = {}
+    for node in (CORI_GPU_NODE, SUMMIT_NODE):
+        for label, nufft_type, n_modes, m in TASKS:
+            result = run_weak_scaling(
+                nufft_type, n_modes, m, 1e-12, node_spec=node,
+                max_ranks=2 * node.n_gpus, precision="double",
+                task_label=label, rng=0, max_sample=bench_sample_size(),
+            )
+            curves[(node.name, label)] = result
+            for ranks, setup_ms, exec_ms, total_s, eff in result.rows():
+                rows.append([node.name, label, ranks, setup_ms, exec_ms, total_s, eff])
+    emit(
+        "fig9_weak_scaling",
+        "Fig. 9 -- single-node weak scaling (per-rank times)",
+        ["system", "task", "ranks", "setup (ms)", "exec (ms)", "total (s)", "efficiency"],
+        rows,
+        floatfmt=".3g",
+    )
+    return rows, curves
+
+
+def test_fig9_weak_scaling(benchmark):
+    rows, curves = benchmark.pedantic(run_fig9, iterations=1, rounds=1)
+    for (system, _label), result in curves.items():
+        n_gpus = result.n_gpus
+        eff = result.efficiency()
+        # near-ideal up to one rank per GPU, rapid deterioration beyond
+        assert all(e > 0.8 for e in eff[:n_gpus]), (system, eff)
+        assert eff[n_gpus] < 0.7, (system, eff)
+
+
+if __name__ == "__main__":
+    run_fig9()

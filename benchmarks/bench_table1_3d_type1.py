@@ -1,0 +1,65 @@
+"""Table I: 3D type-1 exec time, GPU RAM, speedup vs FINUFFT and spread fraction.
+
+Reproduces the rows of paper Table I: N = 32^3 (M = 2.62e5) and N = 256^3
+(M = 1.34e8), tolerances 1e-2 and 1e-5, "rand" distribution, single precision,
+for the GM-sort and SM spreading methods.  Columns: modelled exec time, GPU
+RAM (nvidia-smi style, including the CUDA-context baseline), exec speedup over
+28-thread FINUFFT, and the fraction of exec spent spreading.
+"""
+
+from benchmarks.common import emit, library_times, stats_for
+from repro.metrics import model_cufinufft
+
+ROWS = [
+    (1e-2, 32, 262_144),
+    (1e-2, 256, 134_217_728),
+    (1e-5, 32, 262_144),
+    (1e-5, 256, 134_217_728),
+]
+METHODS = ["GM-sort", "SM"]
+
+
+def run_table1():
+    rows = []
+    for eps, n, m in ROWS:
+        n_modes = (n, n, n)
+        stats = stats_for("rand", m, n_modes, eps)
+        finufft = library_times("finufft", 1, n_modes, m, eps, stats=stats)
+        for method in METHODS:
+            r = model_cufinufft(1, n_modes, m, eps, method=method,
+                                distribution="rand", stats=stats)
+            rows.append([
+                f"{eps:g}", f"{n}^3", f"{m:.3g}", method,
+                r.times["exec"],
+                r.ram_mb,
+                finufft.times["exec"] / r.times["exec"],
+                100.0 * r.spread_fraction,
+            ])
+    emit(
+        "table1_3d_type1",
+        "Table I -- 3D type 1, rand, single precision",
+        ["eps", "N", "M", "method", "exec time (s)", "RAM (MB)",
+         "speedup vs FINUFFT", "spread fraction (%)"],
+        rows,
+        floatfmt=".4g",
+    )
+    return rows
+
+
+def test_table1_3d_type1(benchmark):
+    rows = benchmark.pedantic(run_table1, iterations=1, rounds=1)
+    by_key = {(r[0], r[1], r[3]): r for r in rows}
+    # SM beats GM-sort on exec time in every row (paper: 0.0005 vs 0.0009 etc.)
+    for eps in ("0.01", "1e-05"):
+        for n in ("32^3", "256^3"):
+            assert by_key[(eps, n, "SM")][4] < by_key[(eps, n, "GM-sort")][4]
+    # spreading dominates exec (paper: > 90% in every row)
+    assert all(r[7] > 80.0 for r in rows)
+    # every configuration is faster than the 28-thread CPU library
+    assert all(r[6] > 1.0 for r in rows)
+    # the large problem uses several GB of device memory (paper: ~6.1 GB)
+    assert by_key[("1e-05", "256^3", "SM")][5] > 3000
+
+
+if __name__ == "__main__":
+    run_table1()

@@ -1,0 +1,71 @@
+"""Table II: M-TIP slicing/merging NUFFT wall-clock, CPU vs single-rank vs whole-node.
+
+Per-rank problems (eps = 1e-12, double precision): slicing = 3D type 2 with
+N = 41^3 and M = 1.02e6 slice points; merging = 3D type 1 with N = 81^3 and
+M = 1.64e7 points.  The CPU column models 40-thread FINUFFT on the Cori GPU
+Skylake host; the GPU columns model cuFINUFFT on one V100 ("single-rank") and
+on a whole node with one rank per GPU ("whole-node", 8 GPUs on Cori GPU and 6
+on Summit -- the per-rank time is unchanged under ideal weak scaling while the
+CPU must process the whole node's data).
+"""
+
+from benchmarks.common import emit, library_times, stats_for
+from repro.baselines.finufft_cpu import CPUCostConstants, FinufftCPU
+from repro.cluster import CORI_GPU_NODE, SUMMIT_NODE
+from repro.metrics import model_cufinufft
+
+EPS = 1e-12
+TASKS = [
+    ("Slicing (type 2)", 2, (41, 41, 41), 1_020_000),
+    ("Merging (type 1)", 1, (81, 81, 81), 16_400_000),
+]
+
+
+def run_table2():
+    cpu40 = FinufftCPU(CPUCostConstants(n_threads=40))
+    rows = []
+    for label, nufft_type, n_modes, m_per_rank in TASKS:
+        stats = stats_for("rand", m_per_rank, n_modes, EPS)
+        gpu = model_cufinufft(nufft_type, n_modes, m_per_rank, EPS,
+                              precision="double", stats=stats)
+        gpu_s = gpu.times["total+mem"]
+        cpu_single = cpu40.model_times(nufft_type, n_modes, m_per_rank, EPS,
+                                       precision="double").times["total"]
+        for node in (CORI_GPU_NODE, SUMMIT_NODE):
+            cpu_node = cpu40.model_times(
+                nufft_type, n_modes, m_per_rank * node.n_gpus, EPS, precision="double"
+            ).times["total"]
+            rows.append([
+                label, node.name, "single-rank", cpu_single, gpu_s, cpu_single / gpu_s,
+            ])
+            rows.append([
+                label, node.name, "whole-node", cpu_node, gpu_s, cpu_node / gpu_s,
+            ])
+    emit(
+        "table2_mtip",
+        "Table II -- M-TIP NUFFT wall-clock per iteration (seconds), eps=1e-12",
+        ["task", "system", "parallelism", "CPU time (s)", "GPU time (s)", "speedup"],
+        rows,
+        floatfmt=".3g",
+    )
+    return rows
+
+
+def test_table2_mtip(benchmark):
+    rows = benchmark.pedantic(run_table2, iterations=1, rounds=1)
+    # whole-node speedups are larger than single-rank speedups (paper: 5-12x
+    # vs ~0.9-1.5x) because the CPU has to absorb the node's full workload.
+    for label, *_ in TASKS:
+        single = [r for r in rows if r[0] == label and r[2] == "single-rank"]
+        whole = [r for r in rows if r[0] == label and r[2] == "whole-node"]
+        for s, w in zip(single, whole):
+            assert w[5] > s[5]
+            assert w[5] > 2.0
+    # merging is the heavier step (paper: ~1.8 s vs ~0.08 s on the GPU)
+    slicing_gpu = [r[4] for r in rows if r[0].startswith("Slicing")][0]
+    merging_gpu = [r[4] for r in rows if r[0].startswith("Merging")][0]
+    assert merging_gpu > slicing_gpu
+
+
+if __name__ == "__main__":
+    run_table2()

@@ -1,0 +1,8 @@
+"""pytest configuration for the benchmark harness."""
+
+import os
+import sys
+
+# Make `from benchmarks.common import ...` work when pytest is invoked from the
+# repository root without installing the benchmarks as a package.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

@@ -1,0 +1,111 @@
+"""Non-Cartesian MRI reconstruction by iterative NUFFT gridding.
+
+MRI scanners acquire Fourier-domain ("k-space") samples along non-Cartesian
+trajectories -- here a radial trajectory, the motivating application cited in
+the paper's introduction (Fessler & Sutton's min-max NUFFT gridding).  The
+forward model is a type-2 NUFFT (image -> k-space samples) and its adjoint is
+a type-1 NUFFT, so image reconstruction is a least-squares problem solved by
+conjugate gradients on the normal equations, with both operators sharing one
+plan each (the classic "iterative reconstruction" workload the plan interface
+is designed for).
+
+Run with ``python examples/mri_gridding.py``.
+"""
+
+import numpy as np
+
+from repro import Plan, relative_l2_error
+
+
+def shepp_logan_like_phantom(n):
+    """A simple analytic phantom: nested ellipses of differing intensity."""
+    y, x = np.meshgrid(np.linspace(-1, 1, n), np.linspace(-1, 1, n), indexing="ij")
+    img = np.zeros((n, n))
+    ellipses = [
+        (0.0, 0.0, 0.72, 0.95, 1.0),
+        (0.0, 0.0, 0.65, 0.87, -0.4),
+        (0.22, 0.0, 0.12, 0.31, 0.3),
+        (-0.22, 0.0, 0.16, 0.41, 0.35),
+        (0.0, 0.35, 0.21, 0.25, 0.25),
+        (0.0, -0.1, 0.046, 0.046, 0.3),
+    ]
+    for cx, cy, ax, ay, val in ellipses:
+        img[((x - cx) / ax) ** 2 + ((y - cy) / ay) ** 2 <= 1.0] += val
+    return img
+
+
+def radial_trajectory(n_spokes, n_readout):
+    """Radial k-space sample locations in [-pi, pi)^2."""
+    angles = np.pi * np.arange(n_spokes) / n_spokes
+    radii = np.linspace(-np.pi, np.pi, n_readout, endpoint=False)
+    kx = np.concatenate([r * np.cos(a) for a in angles for r in [radii]])
+    ky = np.concatenate([r * np.sin(a) for a in angles for r in [radii]])
+    return kx, ky
+
+
+def main():
+    n = 128                      # image size
+    n_spokes, n_readout = 200, 256
+    eps = 1e-6
+
+    image = shepp_logan_like_phantom(n)
+    kx, ky = radial_trajectory(n_spokes, n_readout)
+    print(f"radial trajectory: {kx.size} k-space samples, image {n}x{n}")
+
+    # Forward (type 2) and adjoint (type 1) operators sharing plans.
+    forward_plan = Plan(2, (n, n), eps=eps, precision="double")
+    forward_plan.set_pts(kx, ky)
+    adjoint_plan = Plan(1, (n, n), eps=eps, precision="double")
+    adjoint_plan.set_pts(kx, ky)
+
+    def forward(img):
+        return forward_plan.execute(img.astype(np.complex128))
+
+    def adjoint(samples):
+        return adjoint_plan.execute(samples.astype(np.complex128))
+
+    # Simulated acquisition with a little complex noise.
+    rng = np.random.default_rng(0)
+    kdata = forward(image)
+    kdata += 0.01 * np.abs(kdata).mean() * (
+        rng.standard_normal(kdata.shape) + 1j * rng.standard_normal(kdata.shape)
+    )
+
+    # Density-compensated adjoint ("gridding") reconstruction as the baseline:
+    # radial density compensation weights |k|.
+    weights = np.abs(np.hypot(kx, ky)) + np.pi / n_readout
+    gridding = adjoint(kdata * weights).real
+    gridding *= image.max() / max(gridding.max(), 1e-30)
+
+    # Conjugate gradients on the normal equations A^H A x = A^H b.
+    b = adjoint(kdata)
+    x = np.zeros((n, n), dtype=np.complex128)
+    r = b - adjoint(forward(x))
+    p = r.copy()
+    rs_old = np.vdot(r, r).real
+    for it in range(15):
+        ap = adjoint(forward(p))
+        alpha = rs_old / np.vdot(p, ap).real
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = np.vdot(r, r).real
+        if it % 5 == 0:
+            err = relative_l2_error(x.real * image.max() / max(x.real.max(), 1e-30), image)
+            print(f"  CG iteration {it:2d}: residual {rs_new:.3e}, image error {err:.3f}")
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+
+    recon = x.real * image.max() / max(x.real.max(), 1e-30)
+    print(f"\ngridding-only reconstruction error: {relative_l2_error(gridding, image):.3f}")
+    print(f"CG (15 iterations) reconstruction error: {relative_l2_error(recon, image):.3f}")
+
+    t_fwd = forward_plan.timings()
+    print(f"\nmodelled GPU time per type-2 execute: {t_fwd['exec']*1e3:.3f} ms "
+          f"({forward_plan.ns_per_point('exec'):.1f} ns per k-space sample)")
+
+    forward_plan.destroy()
+    adjoint_plan.destroy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""X-ray single-particle reconstruction with M-TIP (paper Sec. V), multi-rank.
+
+Synthesizes a diffraction experiment from a known 3D density, then runs the
+M-TIP loop -- slicing (3D type-2 NUFFT), orientation matching, merging (two 3D
+type-1 NUFFTs) and phasing -- distributing the images over simulated MPI ranks
+that share the GPUs of a Cori-GPU-like node round-robin, exactly as the
+paper's application code does.
+
+Run with ``python examples/xray_mtip_reconstruction.py``.
+"""
+
+import numpy as np
+
+from repro.cluster import CORI_GPU_NODE, Node, SimComm
+from repro.core.errors import relative_l2_error
+from repro.mtip import MTIPConfig, MTIPReconstruction
+from repro.mtip.ewald import ewald_slice_points, random_rotations
+from repro.mtip.merging import MergingOperator
+from repro.mtip.phasing import centered_fft
+from repro.mtip.slicing import SlicingOperator
+
+
+def single_rank_reconstruction():
+    """Run the full M-TIP loop on one (simulated) GPU."""
+    print("=== single-rank M-TIP reconstruction ===")
+    config = MTIPConfig(n_modes=16, n_pix=14, n_images=40, n_candidates=60,
+                        eps=1e-8, phasing_iterations=80, seed=7)
+    recon = MTIPReconstruction(config)
+    density, history = recon.run(n_iterations=3)
+    for record in history:
+        print(f"  iteration {record.iteration}: "
+              f"orientation score {record.mean_orientation_score:.3f}, "
+              f"density error {record.density_error:.3f}, "
+              f"NUFFT model time: slicing {record.nufft_seconds['slicing']*1e3:.2f} ms, "
+              f"merging {record.nufft_seconds['merging']*1e3:.2f} ms")
+    err = relative_l2_error(density, recon.true_density)
+    print(f"  final density relative error: {err:.3f}")
+    return recon
+
+
+def multi_rank_slice_and_merge(recon, n_ranks=4):
+    """Distribute one slicing + merging pass over MPI ranks sharing a node's GPUs.
+
+    Mirrors the paper's work management: scatter the image batch, each rank
+    runs its NUFFTs on its round-robin-assigned GPU, and the merged Fourier
+    models are sum-reduced on rank 0.
+    """
+    print(f"\n=== multi-rank slicing + merging ({n_ranks} ranks, "
+          f"{CORI_GPU_NODE.n_gpus}-GPU node) ===")
+    cfg = recon.config
+    node = Node(spec=CORI_GPU_NODE)
+    comms = SimComm.create(n_ranks)
+    model = recon.true_modes          # use the ground truth as the current model
+
+    # rank 0 scatters the per-rank image batches (orientations)
+    all_rotations = random_rotations(cfg.n_images, rng=3)
+    batches = np.array_split(all_rotations, n_ranks)
+    received = [comms[0].scatter(list(batches), root=0)]
+    received += [comms[r].scatter(None) for r in range(1, n_ranks)]
+
+    per_rank_numerators = []
+    for rank in range(n_ranks):
+        device = node.device_for_rank(rank)
+        device.make_context()
+        points = ewald_slice_points(received[rank], cfg.n_pix, q_max=cfg.q_max,
+                                    curvature=cfg.curvature)
+        slicer = SlicingOperator((cfg.n_modes,) * 3, points, eps=cfg.eps, device=device)
+        values = slicer(model)
+        slice_time = slicer.nufft_seconds()["total"]
+        slicer.destroy()
+
+        merger = MergingOperator((cfg.n_modes,) * 3, points, eps=cfg.eps, device=device)
+        merged = merger(values)
+        merge_time = merger.nufft_seconds()["total"]
+        merger.destroy()
+        per_rank_numerators.append(merged)
+        print(f"  rank {rank} on GPU {device.device_id}: "
+              f"{points.shape[0]} slice points, "
+              f"slicing {slice_time*1e3:.2f} ms, merging {merge_time*1e3:.2f} ms "
+              f"(contention x{device.contention_factor:.2f})")
+
+    # reduce the per-rank merged models on rank 0 (drive non-root ranks first)
+    for rank in range(1, n_ranks):
+        comms[rank].reduce(per_rank_numerators[rank])
+    total = comms[0].reduce(per_rank_numerators[0]) / n_ranks
+    err = relative_l2_error(np.abs(total), np.abs(centered_fft(recon.true_density)))
+    print(f"  reduced merged model vs ground-truth |F|: relative error {err:.3f}")
+    print(f"  modelled collective-communication time: {comms[0].comm_seconds*1e3:.3f} ms")
+    node.release_all()
+
+
+def main():
+    recon = single_rank_reconstruction()
+    multi_rank_slice_and_merge(recon, n_ranks=4)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction has setuptools but no
+``wheel`` package, so PEP-517 editable installs (which need ``bdist_wheel``)
+fail.  This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+(and plain ``pip install -e .`` on fully-equipped systems) work everywhere.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro: reproduction of cuFINUFFT (IPDPS 2021) on a simulated CUDA substrate.
+
+The package implements the paper's general-purpose GPU nonuniform FFT library
+(types 1 and 2, dimensions 2 and 3, single/double precision) with the GM,
+GM-sort and SM spreading strategies, together with every substrate the
+evaluation depends on: a simulated V100 device and cost model, CPU/GPU
+baseline libraries (FINUFFT, CUNFFT, gpuNUFFT analogues), a simulated
+multi-GPU MPI cluster, and the M-TIP X-ray reconstruction application.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import Plan
+>>> rng = np.random.default_rng(0)
+>>> M = 10_000
+>>> x, y = rng.uniform(-np.pi, np.pi, (2, M))
+>>> c = rng.normal(size=M) + 1j * rng.normal(size=M)
+>>> plan = Plan(1, (64, 64), eps=1e-6)
+>>> _ = plan.set_pts(x, y)
+>>> f = plan.execute(c)        # (64, 64) Fourier coefficients
+"""
+
+from .core import (
+    Opts,
+    Plan,
+    Precision,
+    SpreadMethod,
+    max_abs_error,
+    nudft_type1,
+    nudft_type2,
+    nufft2d1,
+    nufft2d2,
+    nufft3d1,
+    nufft3d2,
+    relative_l2_error,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Plan",
+    "Opts",
+    "Precision",
+    "SpreadMethod",
+    "nufft2d1",
+    "nufft2d2",
+    "nufft3d1",
+    "nufft3d2",
+    "nudft_type1",
+    "nudft_type2",
+    "relative_l2_error",
+    "max_abs_error",
+    "__version__",
+]

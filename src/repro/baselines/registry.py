@@ -1,0 +1,95 @@
+"""Uniform adapter registry over cuFINUFFT and the baseline libraries.
+
+The benchmark harness compares "libraries" by name exactly as the paper's
+figure legends do: ``finufft``, ``cufinufft (SM)``, ``cufinufft (GM-sort)``,
+``cunfft`` and ``gpunufft``.  Each adapter exposes the same three methods:
+
+``supports(nufft_type, ndim, precision, eps)``
+    capability matrix (e.g. gpuNUFFT is single-precision only);
+``model_times(...)``
+    returns a :class:`~repro.metrics.modeling.ModelResult`;
+``error_estimate(eps, precision)``
+    heuristic delivered relative error at the requested tolerance.
+"""
+
+from __future__ import annotations
+
+from ..core.options import Precision, SpreadMethod
+from ..kernels.es_kernel import ESKernel
+from ..metrics.modeling import model_cufinufft
+from .cunfft import CunfftLibrary
+from .finufft_cpu import FinufftCPU
+from .gpunufft import GpuNufftLibrary
+
+__all__ = ["CufinufftAdapter", "get_library", "available_libraries"]
+
+
+class CufinufftAdapter:
+    """Adapter presenting the core library through the baseline interface.
+
+    Parameters
+    ----------
+    method : str
+        Spreading method shown in the figure legends: ``"SM"`` or
+        ``"GM-sort"`` (``"GM"`` is also accepted for the Fig. 2/3 baselines).
+    """
+
+    device_kind = "gpu"
+
+    def __init__(self, method="SM"):
+        self.method = SpreadMethod.parse(method)
+        self.name = f"cufinufft ({self.method.value})"
+
+    def supports(self, nufft_type, ndim, precision, eps):
+        """SM is unavailable for 3D double precision (paper Remark 2)."""
+        precision = Precision.parse(precision)
+        if nufft_type not in (1, 2) or ndim not in (2, 3):
+            return False
+        if (
+            self.method is SpreadMethod.SM
+            and nufft_type == 1
+            and ndim == 3
+            and precision is Precision.DOUBLE
+        ):
+            # Feasible only for low accuracy (small w); Remark 2 gives the
+            # shared-memory constraint 16 (m+w)^3 <= 49000.
+            width = ESKernel.from_tolerance(eps).width
+            return width <= 6
+        return True
+
+    def error_estimate(self, eps, precision="single"):
+        precision = Precision.parse(precision)
+        floor = 1e-7 if precision is Precision.SINGLE else 1e-14
+        return max(ESKernel.from_tolerance(eps).estimated_error(), floor)
+
+    def model_times(self, nufft_type, n_modes, n_points, eps, **kwargs):
+        return model_cufinufft(
+            nufft_type, n_modes, n_points, eps, method=self.method, **kwargs
+        )
+
+
+_FACTORIES = {
+    "finufft": FinufftCPU,
+    "cunfft": CunfftLibrary,
+    "gpunufft": GpuNufftLibrary,
+    "cufinufft (SM)": lambda: CufinufftAdapter("SM"),
+    "cufinufft (GM-sort)": lambda: CufinufftAdapter("GM-sort"),
+    "cufinufft (GM)": lambda: CufinufftAdapter("GM"),
+}
+
+
+def available_libraries():
+    """Names accepted by :func:`get_library`, in figure-legend order."""
+    return list(_FACTORIES.keys())
+
+
+def get_library(name):
+    """Instantiate a library adapter by its figure-legend name."""
+    key = str(name).strip()
+    lowered = key.lower()
+    for candidate, factory in _FACTORIES.items():
+        if candidate.lower() == lowered:
+            return factory()
+    raise KeyError(
+        f"unknown library {name!r}; available: {', '.join(available_libraries())}"
+    )

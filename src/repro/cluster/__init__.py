@@ -1,0 +1,28 @@
+"""Simulated multi-GPU / MPI substrate (paper Sec. V).
+
+The paper's application study runs MPI ranks (via mpi4py) round-robined over
+the GPUs of a single Cori GPU or Summit node.  This subpackage simulates that
+environment in-process:
+
+* :class:`~repro.cluster.comm.SimComm` -- an MPI-communicator look-alike with
+  ``scatter`` / ``gather`` / ``reduce`` / ``bcast`` / ``barrier`` plus a
+  latency/bandwidth cost model;
+* :class:`~repro.cluster.node.Node` -- a compute node with ``n_gpus``
+  simulated V100s and round-robin rank -> device assignment;
+* :mod:`~repro.cluster.weak_scaling` -- the weak-scaling experiment driver
+  behind Fig. 9.
+"""
+
+from .comm import SimComm, CommCostModel
+from .node import Node, CORI_GPU_NODE, SUMMIT_NODE
+from .weak_scaling import WeakScalingResult, run_weak_scaling
+
+__all__ = [
+    "SimComm",
+    "CommCostModel",
+    "Node",
+    "CORI_GPU_NODE",
+    "SUMMIT_NODE",
+    "WeakScalingResult",
+    "run_weak_scaling",
+]

@@ -1,0 +1,209 @@
+"""In-process simulated MPI communicator.
+
+The M-TIP pipeline uses only a handful of collective operations
+(``scatter`` before slicing, ``reduce`` after merging, ``bcast`` of the
+current model, ``barrier`` between steps).  :class:`SimComm` implements those
+with NumPy semantics matching mpi4py's lowercase (pickle-based) API closely
+enough that the application code reads like the real thing, and it accounts
+for the communication cost with a simple latency + bandwidth model
+(:class:`CommCostModel`).
+
+All "ranks" live in one Python process: a :class:`SimComm` of size ``P``
+is a *collection* of per-rank views over shared state, and collectives are
+executed eagerly when the root's view is invoked.  This keeps the simulation
+deterministic and dependency-free while exercising the same data movement the
+MPI code performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommCostModel", "SimComm"]
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Latency/bandwidth model for intra-node collectives.
+
+    Defaults describe NVLink/PCIe-class intra-node communication; the exact
+    values barely matter for Fig. 9 (NUFFT execution dominates) but the terms
+    exist so the weak-scaling totals include a communication contribution that
+    grows with the number of ranks.
+    """
+
+    latency_s: float = 5.0e-6
+    bandwidth: float = 2.0e10  # bytes/s per link
+
+    def collective_time(self, nbytes, n_ranks):
+        """Time of one scatter/gather/reduce of ``nbytes`` total payload."""
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if nbytes < 0:
+            raise ValueError("nbytes must be nonnegative")
+        hops = max(1, int(np.ceil(np.log2(max(1, n_ranks)))))
+        return hops * self.latency_s + nbytes / self.bandwidth
+
+
+@dataclass
+class _SharedState:
+    """State shared by all rank views of one communicator."""
+
+    size: int
+    cost: CommCostModel
+    comm_seconds: float = 0.0
+    mailbox: dict = field(default_factory=dict)
+
+
+class SimComm:
+    """A rank's view of a simulated intra-node communicator.
+
+    Create the full communicator with :meth:`create` and index it by rank::
+
+        comms = SimComm.create(size=8)
+        rank0 = comms[0]
+
+    The collective methods follow mpi4py's lowercase API: ``scatter`` takes a
+    list of per-rank payloads at the root and returns this rank's element;
+    ``reduce`` combines per-rank contributions at the root.  Because all ranks
+    live in one process, collectives are expressed through the shared state:
+    the root deposits the payload and every rank view reads its slot.
+    """
+
+    def __init__(self, rank, shared):
+        self._rank = int(rank)
+        self._shared = shared
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, size, cost_model=None):
+        """Create ``size`` rank views sharing one communicator state."""
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        shared = _SharedState(size=int(size), cost=cost_model or CommCostModel())
+        return [cls(rank, shared) for rank in range(size)]
+
+    # ------------------------------------------------------------------ #
+    # introspection (mpi4py-style)
+    # ------------------------------------------------------------------ #
+    def Get_rank(self):
+        return self._rank
+
+    def Get_size(self):
+        return self._shared.size
+
+    @property
+    def rank(self):
+        return self._rank
+
+    @property
+    def size(self):
+        return self._shared.size
+
+    @property
+    def comm_seconds(self):
+        """Accumulated modelled communication time of this communicator."""
+        return self._shared.comm_seconds
+
+    def _charge(self, nbytes):
+        self._shared.comm_seconds += self._shared.cost.collective_time(
+            nbytes, self._shared.size
+        )
+
+    @staticmethod
+    def _payload_bytes(obj):
+        if isinstance(obj, np.ndarray):
+            return obj.nbytes
+        if isinstance(obj, (list, tuple)):
+            return sum(SimComm._payload_bytes(o) for o in obj)
+        if isinstance(obj, dict):
+            return sum(SimComm._payload_bytes(o) for o in obj.values())
+        return 64  # pickled small-object overhead
+
+    # ------------------------------------------------------------------ #
+    # collectives
+    # ------------------------------------------------------------------ #
+    def scatter(self, sendobj, root=0):
+        """Scatter a list of ``size`` payloads; returns this rank's element.
+
+        Must be driven from the root view (the usual pattern in the M-TIP
+        driver, which iterates over rank views explicitly).
+        """
+        size = self._shared.size
+        if self._rank == root:
+            if sendobj is None or len(sendobj) != size:
+                raise ValueError(
+                    f"scatter at root needs a list of exactly {size} payloads"
+                )
+            self._shared.mailbox["scatter"] = list(sendobj)
+            self._charge(self._payload_bytes(sendobj))
+        payload = self._shared.mailbox.get("scatter")
+        if payload is None:
+            raise RuntimeError("scatter called on a non-root rank before the root")
+        return payload[self._rank]
+
+    def bcast(self, obj, root=0):
+        """Broadcast ``obj`` from the root to every rank view."""
+        if self._rank == root:
+            self._shared.mailbox["bcast"] = obj
+            self._charge(self._payload_bytes(obj) * max(1, self._shared.size - 1))
+        value = self._shared.mailbox.get("bcast")
+        if value is None and self._rank != root:
+            raise RuntimeError("bcast called on a non-root rank before the root")
+        return value
+
+    def gather(self, sendobj, root=0):
+        """Gather per-rank payloads into a list at the root (None elsewhere)."""
+        box = self._shared.mailbox.setdefault("gather", {})
+        box[self._rank] = sendobj
+        if len(box) == self._shared.size:
+            self._charge(self._payload_bytes(list(box.values())))
+        if self._rank == root:
+            if len(box) != self._shared.size:
+                raise RuntimeError(
+                    "gather at root before all ranks contributed; drive all rank "
+                    "views before reading the result"
+                )
+            result = [box[r] for r in range(self._shared.size)]
+            self._shared.mailbox["gather"] = {}
+            return result
+        return None
+
+    def reduce(self, sendobj, op=None, root=0):
+        """Sum-reduce per-rank arrays at the root (None on other ranks)."""
+        box = self._shared.mailbox.setdefault("reduce", {})
+        box[self._rank] = np.asarray(sendobj)
+        if len(box) == self._shared.size:
+            self._charge(self._payload_bytes(list(box.values())))
+        if self._rank == root:
+            if len(box) != self._shared.size:
+                raise RuntimeError(
+                    "reduce at root before all ranks contributed; drive all rank "
+                    "views before reading the result"
+                )
+            total = None
+            for r in range(self._shared.size):
+                contrib = box[r]
+                total = contrib.copy() if total is None else total + contrib
+            self._shared.mailbox["reduce"] = {}
+            return total
+        return None
+
+    def allreduce(self, sendobj, op=None):
+        """Sum-reduce visible to every rank (root reduce + bcast)."""
+        result = self.reduce(sendobj, op=op, root=0)
+        if self._rank == 0:
+            self._shared.mailbox["allreduce"] = result
+        value = self._shared.mailbox.get("allreduce")
+        if value is None:
+            raise RuntimeError("allreduce on a non-root rank before rank 0")
+        return value
+
+    def barrier(self):
+        """No-op synchronization point (everything is sequential here)."""
+        self._charge(0)
+        return None

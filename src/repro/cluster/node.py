@@ -1,0 +1,92 @@
+"""Compute-node model: several simulated GPUs and round-robin rank assignment.
+
+The paper's two HPC systems:
+
+* NERSC **Cori GPU**: Intel Skylake host with 8 NVIDIA V100s per node;
+* OLCF **Summit**: IBM Power9 host with 6 NVIDIA V100s per node.
+
+M-TIP assigns each MPI rank a GPU with ``device_id = rank % gpus_per_node``
+(the code snippet in Sec. V-A); when there are more ranks than GPUs, several
+ranks share a device and its :attr:`~repro.gpu.device.Device.contention_factor`
+rises, which is what makes Fig. 9's weak scaling deteriorate past one rank per
+GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import Device, DeviceSpec, V100_SPEC
+
+__all__ = ["NodeSpec", "Node", "CORI_GPU_NODE", "SUMMIT_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Description of a multi-GPU compute node."""
+
+    name: str
+    n_gpus: int
+    cpu_threads: int
+    gpu_spec: DeviceSpec = V100_SPEC
+    #: Relative single-thread CPU speed vs the paper's Intel Skylake reference
+    #: (Summit's Power9 cores are a little slower per thread).
+    cpu_speed_factor: float = 1.0
+
+
+#: NERSC Cori GPU node: 8 V100s, 40-thread Skylake host (Table II uses 40 CPU threads).
+CORI_GPU_NODE = NodeSpec(name="Cori GPU", n_gpus=8, cpu_threads=40)
+
+#: OLCF Summit node: 6 V100s, Power9 host.
+SUMMIT_NODE = NodeSpec(name="Summit", n_gpus=6, cpu_threads=42, cpu_speed_factor=0.85)
+
+
+@dataclass
+class Node:
+    """A live node instance holding its simulated devices."""
+
+    spec: NodeSpec = field(default_factory=lambda: CORI_GPU_NODE)
+
+    def __post_init__(self):
+        self.devices = [
+            Device(spec=self.spec.gpu_spec, device_id=i) for i in range(self.spec.n_gpus)
+        ]
+
+    @property
+    def n_gpus(self):
+        return self.spec.n_gpus
+
+    def device_for_rank(self, rank):
+        """Round-robin GPU assignment (``device_id = rank % GPUS_PER_NODE``)."""
+        if rank < 0:
+            raise ValueError("rank must be nonnegative")
+        return self.devices[rank % self.spec.n_gpus]
+
+    def assign_ranks(self, n_ranks):
+        """Register ``n_ranks`` MPI ranks on their round-robin devices.
+
+        Returns the list of devices, one per rank, with their contexts made
+        (so contention factors reflect the sharing).
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        devices = []
+        for rank in range(n_ranks):
+            dev = self.device_for_rank(rank)
+            dev.make_context()
+            devices.append(dev)
+        return devices
+
+    def release_all(self):
+        """Release every context and allocation (between experiments)."""
+        for dev in self.devices:
+            dev.reset()
+
+    def contention_for_ranks(self, n_ranks):
+        """Kernel slowdown factor seen by each rank when ``n_ranks`` share the node."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        ranks_on_device_0 = (n_ranks + self.spec.n_gpus - 1) // self.spec.n_gpus
+        if ranks_on_device_0 <= 1:
+            return 1.0
+        return ranks_on_device_0 * 1.05

@@ -1,0 +1,137 @@
+"""Single-node multi-GPU weak-scaling experiment (paper Fig. 9).
+
+Weak scaling fixes the *per-rank* problem size (the Table II slicing/merging
+NUFFTs) and grows the number of MPI ranks from 1 to beyond one rank per GPU.
+With ideal weak scaling the per-rank wall-clock time stays flat; the paper
+observes exactly that up to one rank per GPU on both Cori GPU (8 V100) and
+Summit (6 V100), followed by rapid deterioration once ranks start sharing
+devices.  The driver here reproduces that by combining:
+
+* the per-rank NUFFT model time (setup + exec + host-device transfers),
+* the device contention factor from ranks sharing a GPU, and
+* the collective-communication cost of the scatter/reduce around the NUFFTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.modeling import model_cufinufft, sample_spread_stats
+from .comm import CommCostModel
+from .node import CORI_GPU_NODE, Node
+
+__all__ = ["WeakScalingPoint", "WeakScalingResult", "run_weak_scaling"]
+
+
+@dataclass(frozen=True)
+class WeakScalingPoint:
+    """Per-rank timings for one rank count."""
+
+    n_ranks: int
+    setup_s: float
+    exec_s: float
+    transfer_s: float
+    comm_s: float
+
+    @property
+    def total_s(self):
+        return self.setup_s + self.exec_s + self.transfer_s + self.comm_s
+
+
+@dataclass
+class WeakScalingResult:
+    """Weak-scaling curve for one node type and one NUFFT task."""
+
+    node_name: str
+    task_label: str
+    n_gpus: int
+    points: list = field(default_factory=list)
+
+    def efficiency(self):
+        """Weak-scaling efficiency relative to one rank (1.0 = ideal)."""
+        if not self.points:
+            return []
+        base = self.points[0].total_s
+        return [base / p.total_s for p in self.points]
+
+    def rows(self):
+        """Table rows: (ranks, setup ms, exec ms, total s, efficiency)."""
+        eff = self.efficiency()
+        return [
+            (
+                p.n_ranks,
+                p.setup_s * 1e3,
+                p.exec_s * 1e3,
+                p.total_s,
+                eff[i],
+            )
+            for i, p in enumerate(self.points)
+        ]
+
+
+def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None,
+                     max_ranks=None, precision="double", task_label="",
+                     rng=None, max_sample=1 << 20):
+    """Run the Fig. 9 weak-scaling sweep for one NUFFT task.
+
+    Parameters
+    ----------
+    nufft_type, n_modes, n_points_per_rank, eps
+        The per-rank NUFFT problem (Table II sizes at paper scale).
+    node_spec : NodeSpec, optional
+        Node to model (Cori GPU by default; pass ``SUMMIT_NODE`` for Summit).
+    max_ranks : int, optional
+        Largest rank count to sweep; defaults to twice the number of GPUs so
+        the post-saturation regime is visible, as in the paper's plots.
+    precision : str
+        ``"double"`` for the M-TIP requirement of eps = 1e-12.
+    """
+    node_spec = node_spec if node_spec is not None else CORI_GPU_NODE
+    node = Node(spec=node_spec)
+    if max_ranks is None:
+        max_ranks = 2 * node_spec.n_gpus
+    comm_cost = CommCostModel()
+
+    # The per-rank NUFFT is identical for every rank, so model it once and
+    # apply the rank-dependent contention/communication factors.
+    stats = sample_spread_stats(
+        "rand", n_points_per_rank, _fine_shape_for(n_modes, eps), _bin_shape(len(n_modes)),
+        rng=rng, max_sample=max_sample,
+    )
+    base = model_cufinufft(
+        nufft_type, n_modes, n_points_per_rank, eps,
+        method="auto", distribution="rand", precision=precision, stats=stats,
+    )
+
+    result = WeakScalingResult(
+        node_name=node_spec.name,
+        task_label=task_label or f"type{nufft_type} N={n_modes[0]}^3",
+        n_gpus=node_spec.n_gpus,
+    )
+    bytes_per_rank = n_points_per_rank * (16 if precision == "double" else 8)
+    for n_ranks in range(1, max_ranks + 1):
+        contention = node.contention_for_ranks(n_ranks)
+        comm_s = comm_cost.collective_time(bytes_per_rank * n_ranks, n_ranks)
+        point = WeakScalingPoint(
+            n_ranks=n_ranks,
+            setup_s=base.times["setup"] * contention,
+            exec_s=base.times["exec"] * contention,
+            transfer_s=base.times["mem"],
+            comm_s=comm_s,
+        )
+        result.points.append(point)
+    return result
+
+
+def _bin_shape(ndim):
+    return (32, 32) if ndim == 2 else (16, 16, 2)
+
+
+def _fine_shape_for(n_modes, eps):
+    from ..core.gridsize import fine_grid_shape
+    from ..kernels.es_kernel import ESKernel
+
+    kernel = ESKernel.from_tolerance(eps)
+    return fine_grid_shape(n_modes, kernel.width)

@@ -1,0 +1,36 @@
+"""Core library: the paper's primary contribution.
+
+Public API:
+
+* :class:`~repro.core.plan.Plan` -- the plan / set_pts / execute / destroy
+  interface of cuFINUFFT.
+* :func:`~repro.core.simple.nufft2d1` and friends -- one-shot wrappers.
+* :class:`~repro.core.options.Opts`, :class:`~repro.core.options.SpreadMethod`,
+  :class:`~repro.core.options.Precision` -- tuning options.
+* :mod:`~repro.core.exact` -- direct O(NM) reference sums for validation.
+"""
+
+from .errors import max_abs_error, relative_l2_error
+from .exact import nudft_type1, nudft_type2
+from .gridsize import fine_grid_shape, fine_grid_size, next_smooth_235
+from .options import Opts, Precision, SpreadMethod
+from .plan import Plan
+from .simple import nufft2d1, nufft2d2, nufft3d1, nufft3d2
+
+__all__ = [
+    "Plan",
+    "Opts",
+    "Precision",
+    "SpreadMethod",
+    "nufft2d1",
+    "nufft2d2",
+    "nufft3d1",
+    "nufft3d2",
+    "nudft_type1",
+    "nudft_type2",
+    "relative_l2_error",
+    "max_abs_error",
+    "fine_grid_size",
+    "fine_grid_shape",
+    "next_smooth_235",
+]

@@ -1,0 +1,70 @@
+"""Fine (upsampled) grid sizing.
+
+As in FINUFFT and cuFINUFFT, the fine grid size in each dimension is the
+smallest integer of the form ``2^q 3^p 5^r`` that is at least
+``max(sigma * N_i, 2 w)`` -- such "5-smooth" sizes keep the (cu)FFT fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["is_smooth_235", "next_smooth_235", "fine_grid_size", "fine_grid_shape"]
+
+
+def is_smooth_235(n):
+    """True if ``n`` has no prime factors other than 2, 3 and 5."""
+    n = int(n)
+    if n < 1:
+        return False
+    for p in (2, 3, 5):
+        while n % p == 0:
+            n //= p
+    return n == 1
+
+
+def next_smooth_235(n):
+    """Smallest integer ``>= n`` whose prime factors are all in {2, 3, 5}.
+
+    Uses an explicit enumeration of 5-smooth candidates rather than trial
+    increment, so it is fast even for large ``n``.
+    """
+    n = int(n)
+    if n <= 1:
+        return 1
+    best = None
+    # 2^a alone can always exceed n, giving an upper bound for the search.
+    limit = 1
+    while limit < n:
+        limit *= 2
+    best = limit
+    p5 = 1
+    while p5 <= best:
+        p35 = p5
+        while p35 <= best:
+            # smallest power of two >= n / p35
+            q = -(-n // p35)  # ceil division
+            p2 = 1
+            while p2 < q:
+                p2 *= 2
+            candidate = p35 * p2
+            if n <= candidate < best:
+                best = candidate
+            p35 *= 3
+        p5 *= 5
+    return best
+
+
+def fine_grid_size(n_modes, kernel_width, upsampfac=2.0):
+    """Fine grid size for one dimension: smallest 5-smooth >= max(sigma N, 2w)."""
+    if n_modes < 1:
+        raise ValueError(f"number of modes must be >= 1, got {n_modes}")
+    if kernel_width < 1:
+        raise ValueError(f"kernel width must be >= 1, got {kernel_width}")
+    target = max(int(np.ceil(upsampfac * n_modes)), 2 * int(kernel_width))
+    return next_smooth_235(target)
+
+
+def fine_grid_shape(modes_shape, kernel_width, upsampfac=2.0):
+    """Fine grid shape for a multi-dimensional transform."""
+    return tuple(fine_grid_size(n, kernel_width, upsampfac) for n in modes_shape)

@@ -1,0 +1,197 @@
+"""Plan options: spreading method, precision, bin geometry, tuning knobs.
+
+Mirrors cuFINUFFT's ``cufinufft_opts`` / the Python interface's keyword
+options.  Defaults follow the paper:
+
+* upsampling factor ``sigma = 2`` (fixed; Sec. I-B limitation (3)),
+* bins of 32 x 32 in 2D and 16 x 16 x 2 in 3D (Remark 1),
+* maximum subproblem size ``Msub = 1024`` (Remark 1),
+* method ``AUTO``: SM for type 1 where it is supported (2D single/double,
+  3D single), GM-sort otherwise (Remark 2), and GM-sort for type 2
+  interpolation (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SpreadMethod", "Precision", "Opts", "default_bin_shape"]
+
+
+class SpreadMethod(enum.Enum):
+    """Spreading / interpolation parallelization strategy (paper Sec. III)."""
+
+    #: Input-driven baseline: one thread per point, global atomics, no sort.
+    GM = "GM"
+    #: Input-driven with bin-sorted point ordering (coalesced access).
+    GM_SORT = "GM-sort"
+    #: Hybrid subproblem scheme in shared memory (type 1 only).
+    SM = "SM"
+    #: Pick the best supported method for the transform.
+    AUTO = "auto"
+
+    @classmethod
+    def parse(cls, value):
+        """Accept enum members or their string names/values (case-insensitive)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            key = value.strip().lower().replace("_", "-")
+            for member in cls:
+                if member.value.lower() == key or member.name.lower().replace("_", "-") == key:
+                    return member
+        raise ValueError(f"unknown spread method {value!r}; expected one of "
+                         f"{[m.value for m in cls]}")
+
+
+class Precision(enum.Enum):
+    """Floating-point precision of the transform."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @classmethod
+    def parse(cls, value):
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            key = value.strip().lower()
+            aliases = {
+                "single": cls.SINGLE,
+                "float32": cls.SINGLE,
+                "f32": cls.SINGLE,
+                "complex64": cls.SINGLE,
+                "double": cls.DOUBLE,
+                "float64": cls.DOUBLE,
+                "f64": cls.DOUBLE,
+                "complex128": cls.DOUBLE,
+            }
+            if key in aliases:
+                return aliases[key]
+        if value in (np.float32, np.complex64):
+            return cls.SINGLE
+        if value in (np.float64, np.complex128):
+            return cls.DOUBLE
+        raise ValueError(f"unknown precision {value!r}")
+
+    @property
+    def real_dtype(self):
+        return np.float32 if self is Precision.SINGLE else np.float64
+
+    @property
+    def complex_dtype(self):
+        return np.complex64 if self is Precision.SINGLE else np.complex128
+
+    @property
+    def real_itemsize(self):
+        return 4 if self is Precision.SINGLE else 8
+
+    @property
+    def complex_itemsize(self):
+        return 8 if self is Precision.SINGLE else 16
+
+
+def default_bin_shape(ndim):
+    """Hand-tuned bin sizes from paper Remark 1: 32x32 (2D), 16x16x2 (3D)."""
+    if ndim == 2:
+        return (32, 32)
+    if ndim == 3:
+        return (16, 16, 2)
+    raise ValueError(f"only 2D and 3D transforms are supported, got ndim={ndim}")
+
+
+@dataclass
+class Opts:
+    """Tuning options of a :class:`repro.core.plan.Plan`.
+
+    Attributes
+    ----------
+    method : SpreadMethod
+        Spreading strategy for type-1 (and ordering strategy for type-2).
+    precision : Precision
+        Single or double precision.
+    upsampfac : float
+        Fine-grid upsampling factor sigma (only 2.0 supported).
+    bin_shape : tuple of int or None
+        Bin dimensions ``m_i`` in fine-grid cells; ``None`` selects the
+        paper's defaults for the dimensionality.
+    max_subproblem_size : int
+        ``Msub``, the blocked load-balancing cap of the SM method.
+    threads_per_block : int
+        Threads per block used by the simulated launches (cost model only).
+    spread_only : bool
+        Debug switch: skip FFT + deconvolution (used by the Fig. 2/3
+        benchmarks which time spreading/interpolation kernels in isolation).
+    sort_points : bool
+        Whether set_pts performs the bin sort (GM ignores the permutation but
+        the flag lets benchmarks price the sort separately).
+    """
+
+    method: SpreadMethod = SpreadMethod.AUTO
+    precision: Precision = Precision.SINGLE
+    upsampfac: float = 2.0
+    bin_shape: tuple = None
+    max_subproblem_size: int = 1024
+    threads_per_block: int = 128
+    spread_only: bool = False
+    sort_points: bool = True
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.method = SpreadMethod.parse(self.method)
+        self.precision = Precision.parse(self.precision)
+        if self.upsampfac != 2.0:
+            raise ValueError("only upsampfac = 2.0 is supported (paper limitation (3))")
+        if self.max_subproblem_size <= 0:
+            raise ValueError("max_subproblem_size must be positive")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if self.bin_shape is not None:
+            self.bin_shape = tuple(int(m) for m in self.bin_shape)
+            if any(m <= 0 for m in self.bin_shape):
+                raise ValueError(f"bin_shape entries must be positive, got {self.bin_shape}")
+
+    def resolved_bin_shape(self, ndim):
+        """Bin shape to use for an ``ndim``-dimensional transform."""
+        if self.bin_shape is not None:
+            if len(self.bin_shape) != ndim:
+                raise ValueError(
+                    f"bin_shape {self.bin_shape} does not match transform dimension {ndim}"
+                )
+            return self.bin_shape
+        return default_bin_shape(ndim)
+
+    def resolve_method(self, nufft_type, ndim, precision=None):
+        """Resolve ``AUTO`` into a concrete method for this transform.
+
+        Follows the paper: SM gives the best type-1 performance wherever it is
+        implemented; it is not implemented for 3D double precision (Remark 2),
+        and interpolation (type 2) always uses GM-sort (Sec. III-B).
+        """
+        precision = precision if precision is not None else self.precision
+        if self.method is not SpreadMethod.AUTO:
+            return self.method
+        if nufft_type == 2:
+            return SpreadMethod.GM_SORT
+        if ndim == 3 and precision is Precision.DOUBLE:
+            return SpreadMethod.GM_SORT
+        return SpreadMethod.SM
+
+    def copy(self, **overrides):
+        """Return a copy of the options with some fields replaced."""
+        data = {
+            "method": self.method,
+            "precision": self.precision,
+            "upsampfac": self.upsampfac,
+            "bin_shape": self.bin_shape,
+            "max_subproblem_size": self.max_subproblem_size,
+            "threads_per_block": self.threads_per_block,
+            "spread_only": self.spread_only,
+            "sort_points": self.sort_points,
+            "extra": dict(self.extra),
+        }
+        data.update(overrides)
+        return Opts(**data)

@@ -1,0 +1,508 @@
+"""The cuFINUFFT plan interface: plan / set_pts / execute / destroy.
+
+A :class:`Plan` mirrors the Python interface of the cuFINUFFT library
+(Sec. V-A of the paper):
+
+.. code-block:: python
+
+    plan = Plan(nufft_type=1, n_modes=(256, 256, 256), eps=1e-5)
+    plan.set_pts(x, y, z)              # bin-sorts the nonuniform points
+    f = plan.execute(c)                # repeatable with new strength vectors
+    plan.destroy()
+
+The plan owns the kernel parameters, the fine-grid geometry, the precomputed
+correction factors, the simulated device allocations (so GPU RAM usage can be
+reported, Table I), and the pipeline profiles from which the paper's three
+timings -- "exec", "total" and "total+mem" -- are derived by the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.costmodel import CostModel
+from ..gpu.device import Device
+from ..gpu.fft import DeviceFFT, fft_kernel_profile
+from ..gpu.profiler import PipelineProfile
+from ..kernels.es_kernel import ESKernel
+from .binsort import (
+    bin_sort,
+    binsort_kernel_profiles,
+    make_subproblems,
+    to_grid_coordinates,
+)
+from .deconvolve import CorrectionFactors, deconvolve_kernel_profile
+from .gridsize import fine_grid_shape
+from .interp import interp_kernel_profiles, interpolate
+from .options import Opts, Precision, SpreadMethod
+from .spread import (
+    spread_gm,
+    spread_gm_sort,
+    spread_kernel_profiles,
+    spread_sm,
+    spread_sm_kernel_profiles,
+)
+
+__all__ = ["Plan", "CUDA_CONTEXT_MB"]
+
+#: Baseline device memory claimed by a CUDA context + cuFFT/cuRAND libraries;
+#: added to RAM reports so they are comparable with the paper's
+#: ``nvidia-smi`` numbers (Table I reports 381 MB for a tiny problem).
+CUDA_CONTEXT_MB = 377.0
+
+
+class Plan:
+    """A planned type-1 or type-2 NUFFT on the simulated GPU.
+
+    Parameters
+    ----------
+    nufft_type : int
+        1 (nonuniform -> uniform) or 2 (uniform -> nonuniform).
+    n_modes : tuple of int
+        Output (type 1) / input (type 2) mode counts ``(N1, N2[, N3])``.
+        Only 2D and 3D are supported, as in the paper.
+    n_trans : int, optional
+        Number of transforms sharing the same nonuniform points (batched
+        strength/coefficient vectors).
+    eps : float, optional
+        Requested relative tolerance; sets the kernel width via Eq. (6).
+    opts : Opts, optional
+        Tuning options; keyword overrides below take precedence.
+    device : Device, optional
+        Simulated device to run on (a fresh V100 by default).
+    **opt_overrides
+        Any :class:`~repro.core.options.Opts` field, e.g. ``method="SM"``,
+        ``precision="double"``, ``bin_shape=(16, 16, 4)``.
+    """
+
+    def __init__(self, nufft_type, n_modes, n_trans=1, eps=1e-6, opts=None,
+                 device=None, **opt_overrides):
+        if nufft_type not in (1, 2):
+            raise ValueError(f"nufft_type must be 1 or 2, got {nufft_type}")
+        n_modes = tuple(int(n) for n in n_modes)
+        if len(n_modes) not in (2, 3):
+            raise ValueError(
+                f"only 2D and 3D transforms are supported, got n_modes={n_modes}"
+            )
+        if any(n < 1 for n in n_modes):
+            raise ValueError(f"all mode counts must be >= 1, got {n_modes}")
+        if n_trans < 1:
+            raise ValueError(f"n_trans must be >= 1, got {n_trans}")
+
+        self.nufft_type = int(nufft_type)
+        self.n_modes = n_modes
+        self.ndim = len(n_modes)
+        self.n_trans = int(n_trans)
+        self.eps = float(eps)
+
+        base_opts = opts if opts is not None else Opts()
+        self.opts = base_opts.copy(**opt_overrides) if opt_overrides else base_opts.copy()
+        self.precision = self.opts.precision
+        self.method = self.opts.resolve_method(self.nufft_type, self.ndim, self.precision)
+
+        self.device = device if device is not None else Device()
+        self.cost_model = CostModel(
+            spec=self.device.spec,
+            precision_itemsize=self.precision.real_itemsize,
+        )
+
+        # Kernel, fine grid, correction factors (planning stage).
+        self.kernel = ESKernel.from_tolerance(self.eps, upsampfac=self.opts.upsampfac)
+        self.fine_shape = fine_grid_shape(
+            self.n_modes, self.kernel.width, self.opts.upsampfac
+        )
+        self.bin_shape = self.opts.resolved_bin_shape(self.ndim)
+        self.correction = CorrectionFactors(self.kernel, self.n_modes, self.fine_shape)
+
+        # SM feasibility check mirrors paper Remark 2: fall back to GM-sort when
+        # the padded bin no longer fits in shared memory.
+        if self.method is SpreadMethod.SM:
+            from ..gpu.threadblock import LaunchConfigError, check_shared_memory_fit
+
+            try:
+                check_shared_memory_fit(
+                    self.bin_shape,
+                    self.kernel.width,
+                    self.precision.complex_itemsize,
+                    self.device.spec,
+                )
+            except LaunchConfigError:
+                self.method = SpreadMethod.GM_SORT
+
+        # Device allocations that live for the duration of the plan.
+        self._buffers = []
+        cplx = self.precision.complex_dtype
+        self._fine_grid_buf = self._alloc(self.fine_shape, cplx, "fine grid")
+        self._cufft_workspace_buf = self._alloc(self.fine_shape, cplx, "cufft workspace")
+        for d, (nm, fac) in enumerate(zip(self.n_modes, self.correction.factors)):
+            self._alloc((nm,), self.precision.real_dtype, f"correction factors dim{d}")
+
+        # Point state (populated by set_pts).
+        self._grid_coords = None
+        self._sort = None
+        self._subproblems = None
+        self._point_buffers = []
+        self.n_points = 0
+
+        # Profiles.
+        self._plan_pipeline = PipelineProfile()
+        for buf in self.device.memory.live_buffers:
+            self._plan_pipeline.add_transfer("alloc", buf.nbytes, buf.label)
+        self._setup_pipeline = PipelineProfile()
+        self._exec_pipeline = None
+        self._destroyed = False
+
+        self._fft = DeviceFFT(pipeline=None, warm=True)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _alloc(self, shape, dtype, label):
+        buf = self.device.memory.allocate(shape, dtype, label=label)
+        self._buffers.append(buf)
+        return buf
+
+    def _require_live(self):
+        if self._destroyed:
+            raise RuntimeError("plan has been destroyed")
+
+    def _require_points(self):
+        self._require_live()
+        if self._grid_coords is None:
+            raise RuntimeError("set_pts must be called before execute")
+
+    # ------------------------------------------------------------------ #
+    # set_pts
+    # ------------------------------------------------------------------ #
+    def set_pts(self, x, y, z=None):
+        """Register (and bin-sort) the nonuniform points.
+
+        Coordinates live in ``[-pi, pi)`` (any real values are folded in).
+        Calling ``set_pts`` again replaces the previous points, exactly as in
+        cuFINUFFT, so one plan can be reused across point sets of equal size
+        or not.
+        """
+        self._require_live()
+        coords = [np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)]
+        if self.ndim == 3:
+            if z is None:
+                raise ValueError("3D plan requires x, y and z coordinates")
+            coords.append(np.asarray(z, dtype=np.float64))
+        elif z is not None:
+            raise ValueError("2D plan takes only x and y coordinates")
+        m = coords[0].shape[0]
+        for c in coords:
+            if c.ndim != 1 or c.shape[0] != m:
+                raise ValueError("coordinate arrays must be 1-D and of equal length")
+        if m == 0:
+            raise ValueError("at least one nonuniform point is required")
+
+        # Release buffers from a previous set_pts.
+        for buf in self._point_buffers:
+            buf.free()
+        self._point_buffers = []
+        self._setup_pipeline = PipelineProfile()
+
+        self.n_points = m
+        self._grid_coords = [
+            to_grid_coordinates(coords[d], self.fine_shape[d]) for d in range(self.ndim)
+        ]
+
+        real_dt = self.precision.real_dtype
+        for d, c in enumerate(coords):
+            buf = self.device.memory.from_host(c.astype(real_dt), label=f"points dim{d}")
+            self._point_buffers.append(buf)
+            self._setup_pipeline.add_transfer("h2d", buf.nbytes, f"points dim{d}")
+
+        # Bin statistics are always computed (the contention model needs them);
+        # the sort kernels are only charged when the method uses the sort.
+        self._sort = bin_sort(self._grid_coords, self.fine_shape, self.bin_shape)
+        self._subproblems = None
+        if self.method is SpreadMethod.SM and self.nufft_type == 1:
+            self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
+
+        if self.method in (SpreadMethod.GM_SORT, SpreadMethod.SM) and self.opts.sort_points:
+            idx_bytes = 4 * m
+            for label in ("bin index", "sort permutation"):
+                buf = self.device.memory.from_host(
+                    np.zeros(m, dtype=np.int32), label=label
+                )
+                self._point_buffers.append(buf)
+                self._setup_pipeline.add_transfer("alloc", idx_bytes, label)
+            for prof in binsort_kernel_profiles(
+                m,
+                self._sort.n_bins,
+                self.ndim,
+                self.precision.real_itemsize,
+                self.opts.threads_per_block,
+            ):
+                self._setup_pipeline.add_kernel(prof, phase="setup")
+            if self._subproblems is not None:
+                self._setup_pipeline.add_kernel(
+                    _subproblem_setup_profile(self._sort, self._subproblems),
+                    phase="setup",
+                )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # execute
+    # ------------------------------------------------------------------ #
+    def execute(self, data, out=None):
+        """Run the planned transform on one or ``n_trans`` data vectors.
+
+        Type 1: ``data`` holds strengths ``c_j`` of shape ``(M,)`` or
+        ``(n_trans, M)``; returns mode arrays of shape ``n_modes`` or
+        ``(n_trans, *n_modes)``.
+
+        Type 2: ``data`` holds mode coefficients of shape ``n_modes`` or
+        ``(n_trans, *n_modes)``; returns ``(M,)`` or ``(n_trans, M)``.
+
+        In ``spread_only`` mode (used by the Fig. 2 / Fig. 3 benchmarks) the
+        FFT and deconvolution are skipped: type 1 returns the fine grid and
+        type 2 expects a fine-grid-shaped input to interpolate from.
+        """
+        self._require_points()
+        data = np.asarray(data)
+        cplx = self.precision.complex_dtype
+
+        batched, batch = self._validate_execute_shape(data)
+        pipeline = PipelineProfile()
+        self._fft.pipeline = pipeline
+
+        results = []
+        for t in range(self.n_trans if batched else 1):
+            vec = data[t] if batched else data
+            if self.nufft_type == 1:
+                results.append(self._execute_type1(vec.astype(cplx, copy=False), pipeline))
+            else:
+                results.append(self._execute_type2(vec.astype(cplx, copy=False), pipeline))
+
+        self._record_execute_transfers(data, results, pipeline)
+        self._exec_pipeline = pipeline
+
+        output = np.stack(results) if batched else results[0]
+        if out is not None:
+            out[...] = output
+            return out
+        return output
+
+    def _validate_execute_shape(self, data):
+        m, cplx = self.n_points, self.precision.complex_dtype
+        if self.nufft_type == 1:
+            single_shape = (m,)
+        elif self.opts.spread_only:
+            single_shape = self.fine_shape
+        else:
+            single_shape = self.n_modes
+        if data.shape == single_shape:
+            if self.n_trans != 1:
+                raise ValueError(
+                    f"plan expects n_trans={self.n_trans} stacked inputs of shape {single_shape}"
+                )
+            return False, 1
+        if data.shape == (self.n_trans,) + single_shape:
+            return True, self.n_trans
+        raise ValueError(
+            f"data shape {data.shape} does not match expected {single_shape} "
+            f"(or ({self.n_trans}, *{single_shape}) for batched transforms)"
+        )
+
+    def _spread_fine_grid(self, strengths, pipeline):
+        cplx = self.precision.complex_dtype
+        if self.method is SpreadMethod.GM:
+            fine = spread_gm(self.fine_shape, self._grid_coords, strengths, self.kernel, cplx)
+        elif self.method is SpreadMethod.GM_SORT:
+            fine = spread_gm_sort(
+                self.fine_shape, self._grid_coords, strengths, self.kernel, self._sort, cplx
+            )
+        else:
+            if self._subproblems is None:
+                self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
+            fine = spread_sm(
+                self.fine_shape,
+                self._grid_coords,
+                strengths,
+                self.kernel,
+                self._sort,
+                self._subproblems,
+                cplx,
+            )
+        profiles = self._spread_profiles()
+        for prof in profiles:
+            pipeline.add_kernel(prof, phase="exec")
+        return fine
+
+    def _spread_profiles(self):
+        if self.method is SpreadMethod.SM:
+            if self._subproblems is None:
+                self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
+            return spread_sm_kernel_profiles(
+                self._sort,
+                self.kernel,
+                self.precision,
+                self._subproblems,
+                self.opts.threads_per_block,
+                self.device.spec,
+            )
+        return spread_kernel_profiles(
+            self.method,
+            self._sort,
+            self.kernel,
+            self.precision,
+            self.opts.threads_per_block,
+            self.device.spec,
+        )
+
+    def _execute_type1(self, strengths, pipeline):
+        cplx = self.precision.complex_dtype
+        fine = self._spread_fine_grid(strengths, pipeline)
+        if self.opts.spread_only:
+            return fine
+        fine_hat = self._fft.forward(fine.astype(np.complex128, copy=False))
+        modes = self.correction.truncate_and_scale(fine_hat, dtype=cplx)
+        pipeline.add_kernel(
+            deconvolve_kernel_profile(self.n_modes, self.precision.complex_itemsize),
+            phase="exec",
+        )
+        return modes
+
+    def _execute_type2(self, modes, pipeline):
+        cplx = self.precision.complex_dtype
+        if self.opts.spread_only:
+            fine = modes.astype(np.complex128, copy=False)
+        else:
+            fine = self.correction.pad_and_scale(modes, dtype=np.complex128)
+            pipeline.add_kernel(
+                deconvolve_kernel_profile(self.n_modes, self.precision.complex_itemsize,
+                                          name="precorrect"),
+                phase="exec",
+            )
+            fine = self._fft.inverse(fine)
+        method = self.method if self.method is not SpreadMethod.SM else SpreadMethod.GM_SORT
+        result = interpolate(fine, self._grid_coords, self.kernel, method, self._sort, cplx)
+        for prof in interp_kernel_profiles(
+            method,
+            self._sort,
+            self.kernel,
+            self.precision,
+            self.opts.threads_per_block,
+            self.device.spec,
+        ):
+            pipeline.add_kernel(prof, phase="exec")
+        return result
+
+    def _record_execute_transfers(self, data, results, pipeline):
+        cplx_sz = self.precision.complex_itemsize
+        in_elems = int(np.prod(data.shape))
+        out_elems = sum(int(np.prod(np.shape(r))) for r in results)
+        pipeline.add_transfer("h2d", in_elems * cplx_sz, "input data")
+        pipeline.add_transfer("d2h", out_elems * cplx_sz, "output data")
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def timings(self):
+        """Modelled seconds: ``exec``, ``setup``, ``total``, ``mem``, ``total+mem``.
+
+        ``exec`` covers the kernels of the most recent :meth:`execute` call;
+        ``setup`` the bin-sort of the most recent :meth:`set_pts`; ``mem`` the
+        host<->device transfers and plan allocations.  This is exactly the
+        decomposition the paper uses for its three reported timings.
+        """
+        contention = self.device.contention_factor
+        combined = PipelineProfile()
+        combined.merge(self._plan_pipeline)
+        combined.merge(self._setup_pipeline)
+        if self._exec_pipeline is not None:
+            combined.merge(self._exec_pipeline)
+        return self.cost_model.pipeline_times(combined, contention_factor=contention)
+
+    def ns_per_point(self, key="exec"):
+        """Timing per nonuniform point in nanoseconds (the paper's y-axis)."""
+        if self.n_points == 0:
+            raise RuntimeError("set_pts must be called before ns_per_point")
+        t = self.timings()[key]
+        return 1e9 * t / (self.n_points * self.n_trans)
+
+    def gpu_ram_mb(self, include_context=True):
+        """Simulated device memory in MB, ``nvidia-smi`` style (Table I)."""
+        mb = self.device.memory.allocated_mb
+        return mb + (CUDA_CONTEXT_MB if include_context else 0.0)
+
+    def spread_fraction(self):
+        """Fraction of "exec" time spent in spreading/interpolation kernels."""
+        if self._exec_pipeline is None:
+            raise RuntimeError("execute must be called before spread_fraction")
+        contention = self.device.contention_factor
+        total = 0.0
+        spread = 0.0
+        for prof in self._exec_pipeline.exec_kernels():
+            t = self.cost_model.kernel_time(prof, contention)
+            total += t
+            if prof.name.startswith(("spread", "interp")):
+                spread += t
+        return spread / total if total > 0 else 0.0
+
+    def report(self):
+        """Multi-line human-readable summary of the plan and its last run."""
+        lines = [
+            f"cuFINUFFT-repro plan: type {self.nufft_type}, {self.ndim}D, "
+            f"modes {self.n_modes}, n_trans={self.n_trans}",
+            f"  precision: {self.precision.value}, method: {self.method.value}",
+            f"  {self.kernel.describe()}",
+            f"  fine grid: {self.fine_shape}, bins: {self.bin_shape}, "
+            f"Msub={self.opts.max_subproblem_size}",
+            f"  device: {self.device.spec.name}, RAM {self.gpu_ram_mb():.0f} MB",
+        ]
+        if self._grid_coords is not None:
+            lines.append(f"  points: {self.n_points}")
+        if self._exec_pipeline is not None:
+            t = self.timings()
+            lines.append(
+                "  modelled timings: "
+                + ", ".join(f"{k}={v * 1e3:.3f} ms" for k, v in t.items())
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def destroy(self):
+        """Free all simulated device allocations held by the plan."""
+        if self._destroyed:
+            return
+        for buf in self._point_buffers:
+            buf.free()
+        for buf in self._buffers:
+            buf.free()
+        self._point_buffers = []
+        self._buffers = []
+        self._destroyed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.destroy()
+        return False
+
+    def __del__(self):  # pragma: no cover - defensive cleanup
+        try:
+            self.destroy()
+        except Exception:
+            pass
+
+
+def _subproblem_setup_profile(sort, subproblems):
+    """Setup-phase cost of building the subproblem lists (SM step 1)."""
+    from ..gpu.profiler import KernelProfile
+
+    n_bins = sort.n_bins
+    n_sub = subproblems.n_subproblems
+    return KernelProfile(
+        name="sm_subproblem_setup",
+        grid_blocks=max(1.0, n_bins / 128.0),
+        block_threads=128.0,
+        flops=4.0 * n_bins,
+        stream_bytes=8.0 * (n_bins + 3.0 * n_sub),
+    )

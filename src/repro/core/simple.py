@@ -1,0 +1,79 @@
+"""One-shot convenience wrappers around :class:`repro.core.plan.Plan`.
+
+These mirror FINUFFT/cuFINUFFT's "simple" interfaces: a single call that
+plans, sets points, executes and cleans up.  Use a :class:`Plan` directly when
+repeating transforms with the same nonuniform points (the whole reason the
+plan interface exists -- see the paper's discussion of "exec" timings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plan import Plan
+
+__all__ = ["nufft2d1", "nufft2d2", "nufft3d1", "nufft3d2"]
+
+
+def _run_type1(coords, strengths, n_modes, eps, kwargs):
+    strengths = np.asarray(strengths)
+    with Plan(1, n_modes, eps=eps, **kwargs) as plan:
+        plan.set_pts(*coords)
+        return plan.execute(strengths)
+
+
+def _run_type2(coords, modes, eps, kwargs):
+    modes = np.asarray(modes)
+    with Plan(2, modes.shape, eps=eps, **kwargs) as plan:
+        plan.set_pts(*coords)
+        return plan.execute(modes)
+
+
+def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
+    """2D type-1 NUFFT (paper Eq. (1)).
+
+    Parameters
+    ----------
+    x, y : array_like, shape (M,)
+        Nonuniform point coordinates in ``[-pi, pi)``.
+    c : array_like, shape (M,)
+        Complex strengths.
+    n_modes : tuple (N1, N2)
+        Output mode counts.
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`Plan` (``method=``, ``precision=``, ...).
+
+    Returns
+    -------
+    ndarray, shape (N1, N2)
+        Fourier coefficients, axes ordered by ascending frequency from
+        ``-N//2``.
+    """
+    if len(n_modes) != 2:
+        raise ValueError(f"n_modes must have length 2, got {n_modes!r}")
+    return _run_type1((x, y), c, tuple(n_modes), eps, kwargs)
+
+
+def nufft2d2(x, y, f, eps=1e-6, **kwargs):
+    """2D type-2 NUFFT (paper Eq. (3)): evaluate the series ``f`` at ``(x, y)``."""
+    f = np.asarray(f)
+    if f.ndim != 2:
+        raise ValueError(f"f must be a 2-D mode array, got shape {f.shape}")
+    return _run_type2((x, y), f, eps, kwargs)
+
+
+def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
+    """3D type-1 NUFFT."""
+    if len(n_modes) != 3:
+        raise ValueError(f"n_modes must have length 3, got {n_modes!r}")
+    return _run_type1((x, y, z), c, tuple(n_modes), eps, kwargs)
+
+
+def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
+    """3D type-2 NUFFT."""
+    f = np.asarray(f)
+    if f.ndim != 3:
+        raise ValueError(f"f must be a 3-D mode array, got shape {f.shape}")
+    return _run_type2((x, y, z), f, eps, kwargs)

@@ -1,0 +1,466 @@
+"""Spreading (type-1 step 1): GM, GM-sort and SM methods.
+
+Numerically all three methods compute the same fine-grid array
+
+.. math::
+
+    b_{l} = \\sum_{j=1}^{M} c_j\\, \\psi_{per}(l h - x_j)
+
+(paper Eq. (7)); they differ in *how* the work is organized on the GPU, which
+is what the cost profiles capture:
+
+``GM``
+    one thread per point in user order, atomic adds straight to global memory
+    (scattered, uncoalesced, collision-prone for clustered points);
+``GM-sort``
+    same, but points are processed in bin-sorted order so a warp's writes form
+    localized, cache-resident, partially coalesced runs;
+``SM``
+    bin-sorted points are split into subproblems of at most ``Msub`` points;
+    each subproblem accumulates into a *padded bin* copy in shared memory and
+    then adds that copy back to global memory once (paper Fig. 1).
+
+The numeric implementations are genuinely distinct code paths (different
+summation orders and different intermediate buffers); tests assert they agree
+to floating-point tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.atomics import dilated_occupied_cells, occupied_cells_estimate
+from ..gpu.profiler import KernelProfile
+from ..gpu.threadblock import check_shared_memory_fit, padded_bin_shape
+from ..gpu.transactions import (
+    l2_miss_fraction_localized,
+    l2_miss_fraction_random,
+    localized_sector_ops,
+    scattered_sector_ops,
+    sectors_for_contiguous_run,
+)
+from .binsort import make_subproblems
+from .options import SpreadMethod
+
+__all__ = [
+    "compute_kernel_stencil",
+    "spread",
+    "spread_gm",
+    "spread_gm_sort",
+    "spread_sm",
+    "spread_kernel_profiles",
+]
+
+#: Points per chunk for the vectorized accumulation (keeps the (chunk, w^d)
+#: temporaries comfortably in memory for w up to 16).
+_CHUNK_2D = 1 << 16
+_CHUNK_3D = 1 << 13
+
+#: Approximate flop cost of one ES kernel evaluation (sqrt + exp + mults).
+_FLOPS_PER_KERNEL_EVAL = 12.0
+
+
+# --------------------------------------------------------------------------- #
+# kernel stencil evaluation
+# --------------------------------------------------------------------------- #
+def compute_kernel_stencil(grid_coords_d, n_fine_d, kernel):
+    """Per-dimension stencil: first grid index and kernel values for each point.
+
+    For fine-grid coordinate ``g`` (in ``[0, n)``), the kernel of width ``w``
+    touches the ``w`` consecutive grid nodes starting at
+    ``i0 = ceil(g - w/2)``; node ``i0 + r`` lies at distance ``g - (i0 + r)``
+    from the point.
+
+    Returns
+    -------
+    i0 : ndarray of int64, shape (M,)
+        First grid node index (may be negative / >= n; callers wrap mod n).
+    vals : ndarray, shape (M, w)
+        Kernel values at the ``w`` nodes.
+    """
+    g = np.asarray(grid_coords_d, dtype=np.float64)
+    w = kernel.width
+    i0 = np.ceil(g - 0.5 * w).astype(np.int64)
+    vals = kernel.evaluate_offsets(g - i0)
+    return i0, vals
+
+
+def _chunk_size(ndim):
+    return _CHUNK_2D if ndim == 2 else _CHUNK_3D
+
+
+def _accumulate_chunk(flat_grid, flat_idx, weights):
+    """Accumulate ``weights`` at ``flat_idx`` into the flattened grid.
+
+    Uses ``bincount`` on the real and imaginary parts, which is far faster
+    than ``np.add.at`` for large update counts and numerically equivalent up
+    to summation order.
+    """
+    size = flat_grid.shape[0]
+    idx = flat_idx.ravel()
+    wr = np.bincount(idx, weights=weights.real.ravel(), minlength=size)
+    wi = np.bincount(idx, weights=weights.imag.ravel(), minlength=size)
+    flat_grid += (wr + 1j * wi).astype(flat_grid.dtype, copy=False)
+
+
+def _spread_points(grid, grid_coords, strengths, kernel, point_order):
+    """Spread the points listed in ``point_order`` (chunked, any order)."""
+    ndim = len(grid_coords)
+    fine_shape = grid.shape
+    flat_grid = grid.reshape(-1)
+    w = kernel.width
+    chunk = _chunk_size(ndim)
+    offsets = np.arange(w, dtype=np.int64)
+
+    for start in range(0, point_order.shape[0], chunk):
+        sel = point_order[start:start + chunk]
+        idx_per_dim = []
+        vals_per_dim = []
+        for d in range(ndim):
+            i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d], kernel)
+            idx = np.mod(i0[:, None] + offsets[None, :], fine_shape[d])
+            idx_per_dim.append(idx)
+            vals_per_dim.append(vals)
+        c = strengths[sel].astype(np.complex128, copy=False)
+
+        if ndim == 2:
+            n2 = fine_shape[1]
+            flat_idx = idx_per_dim[0][:, :, None] * n2 + idx_per_dim[1][:, None, :]
+            weights = (
+                c[:, None, None]
+                * vals_per_dim[0][:, :, None]
+                * vals_per_dim[1][:, None, :]
+            )
+        else:
+            n2, n3 = fine_shape[1], fine_shape[2]
+            flat_idx = (
+                idx_per_dim[0][:, :, None, None] * (n2 * n3)
+                + idx_per_dim[1][:, None, :, None] * n3
+                + idx_per_dim[2][:, None, None, :]
+            )
+            weights = (
+                c[:, None, None, None]
+                * vals_per_dim[0][:, :, None, None]
+                * vals_per_dim[1][:, None, :, None]
+                * vals_per_dim[2][:, None, None, :]
+            )
+        _accumulate_chunk(flat_grid, flat_idx, weights)
+    return grid
+
+
+# --------------------------------------------------------------------------- #
+# numeric spreaders
+# --------------------------------------------------------------------------- #
+def spread_gm(fine_shape, grid_coords, strengths, kernel, dtype=np.complex64):
+    """GM spreading: points processed in their user-supplied order."""
+    grid = np.zeros(fine_shape, dtype=np.result_type(dtype, np.complex64))
+    order = np.arange(strengths.shape[0], dtype=np.int64)
+    _spread_points(grid, grid_coords, strengths, kernel, order)
+    return grid.astype(dtype, copy=False)
+
+
+def spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype=np.complex64):
+    """GM-sort spreading: points processed in bin-sorted (permuted) order."""
+    grid = np.zeros(fine_shape, dtype=np.result_type(dtype, np.complex64))
+    _spread_points(grid, grid_coords, strengths, kernel, sort.permutation)
+    return grid.astype(dtype, copy=False)
+
+
+def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
+              dtype=np.complex64):
+    """SM spreading: per-subproblem padded-bin accumulation then write-back.
+
+    Follows paper Fig. 1 steps 2-3 exactly: each subproblem spreads its points
+    into a local padded-bin array ("shared memory"), indexed by local
+    coordinates ``s = l - Delta`` where ``Delta`` is the padded bin's offset in
+    the fine grid, and the padded bin is then added back into the global grid
+    with periodic wrapping ``l(s) = (s + Delta) mod n``.
+    """
+    ndim = len(fine_shape)
+    grid = np.zeros(fine_shape, dtype=np.complex128)
+    w = kernel.width
+    pad = int(np.ceil(w / 2.0))
+    bin_shape = sort.bin_shape
+    bins_per_dim = sort.bins_per_dim
+    local_shape = padded_bin_shape(bin_shape, w)
+    offsets = np.arange(w, dtype=np.int64)
+
+    perm = sort.permutation
+    for k in range(subproblems.n_subproblems):
+        b = int(subproblems.bin_ids[k])
+        start = int(subproblems.offsets[k])
+        count = int(subproblems.counts[k])
+        sel = perm[start:start + count]
+
+        # Bin coordinates (x fastest) and padded-bin origin Delta.
+        bcoords = []
+        rem = b
+        for d in range(ndim):
+            bcoords.append(rem % bins_per_dim[d])
+            rem //= bins_per_dim[d]
+        delta = [bcoords[d] * bin_shape[d] - pad for d in range(ndim)]
+
+        local = np.zeros(local_shape, dtype=np.complex128)
+        idx_per_dim = []
+        vals_per_dim = []
+        for d in range(ndim):
+            i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d], kernel)
+            local_idx = i0[:, None] + offsets[None, :] - delta[d]
+            if local_idx.min() < 0 or local_idx.max() >= local_shape[d]:
+                raise AssertionError(
+                    "subproblem point writes outside its padded bin -- "
+                    "bin assignment and padding are inconsistent"
+                )
+            idx_per_dim.append(local_idx)
+            vals_per_dim.append(vals)
+        c = strengths[sel].astype(np.complex128, copy=False)
+
+        if ndim == 2:
+            p2 = local_shape[1]
+            flat_idx = idx_per_dim[0][:, :, None] * p2 + idx_per_dim[1][:, None, :]
+            weights = (
+                c[:, None, None]
+                * vals_per_dim[0][:, :, None]
+                * vals_per_dim[1][:, None, :]
+            )
+        else:
+            p2, p3 = local_shape[1], local_shape[2]
+            flat_idx = (
+                idx_per_dim[0][:, :, None, None] * (p2 * p3)
+                + idx_per_dim[1][:, None, :, None] * p3
+                + idx_per_dim[2][:, None, None, :]
+            )
+            weights = (
+                c[:, None, None, None]
+                * vals_per_dim[0][:, :, None, None]
+                * vals_per_dim[1][:, None, :, None]
+                * vals_per_dim[2][:, None, None, :]
+            )
+        _accumulate_chunk(local.reshape(-1), flat_idx, weights)
+
+        # Step 3: atomic add the padded bin back into global memory, with wrap.
+        # np.add.at (not fancy-index +=) so that padded cells aliasing the same
+        # fine cell -- which happens when the padded bin is wider than the fine
+        # grid itself, e.g. tiny grids with wide kernels -- all accumulate.
+        wrapped = [
+            np.mod(delta[d] + np.arange(local_shape[d], dtype=np.int64), fine_shape[d])
+            for d in range(ndim)
+        ]
+        np.add.at(grid, np.ix_(*wrapped), local)
+
+    return grid.astype(dtype, copy=False)
+
+
+def spread(fine_shape, grid_coords, strengths, kernel, method, sort=None,
+           max_subproblem_size=1024, dtype=np.complex64):
+    """Dispatch to the requested spreading method.
+
+    ``sort`` (a :class:`~repro.core.binsort.BinSort`) is required for GM-sort
+    and SM.
+    """
+    method = SpreadMethod.parse(method)
+    if method is SpreadMethod.GM:
+        return spread_gm(fine_shape, grid_coords, strengths, kernel, dtype)
+    if sort is None:
+        raise ValueError(f"method {method.value} requires a BinSort")
+    if method is SpreadMethod.GM_SORT:
+        return spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype)
+    if method is SpreadMethod.SM:
+        subproblems = make_subproblems(sort, max_subproblem_size)
+        return spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems, dtype)
+    raise ValueError(f"cannot spread with method {method!r}")
+
+
+# --------------------------------------------------------------------------- #
+# cost profiles
+# --------------------------------------------------------------------------- #
+def _point_read_bytes(n_points, ndim, real_itemsize, complex_itemsize, with_index=False):
+    bytes_per_point = ndim * real_itemsize + complex_itemsize
+    if with_index:
+        bytes_per_point += 4  # sorted-index array entry (int32 in CUDA code)
+    return float(n_points) * bytes_per_point
+
+
+def _spread_flops(n_points, width, ndim):
+    evals = ndim * width * _FLOPS_PER_KERNEL_EVAL
+    accum = (width ** ndim) * (2.0 * ndim + 2.0)
+    return float(n_points) * (evals + accum)
+
+
+def _occupancy_stats(sort, kernel_width, complex_itemsize):
+    """Distinct-cell and footprint estimates shared by the profile builders.
+
+    ``sort`` may be a :class:`~repro.core.binsort.BinSort` or a
+    :class:`~repro.core.binsort.SpreadStats`; the preferred contention input
+    is the exact occupied-cell count, with the bin-histogram estimate as a
+    fallback for objects that do not carry it.
+    """
+    ndim = len(sort.fine_shape)
+    total_cells = float(np.prod(sort.fine_shape))
+    n_point_cells = getattr(sort, "n_occupied_cells", 0)
+    if n_point_cells and n_point_cells > 0:
+        occupied = dilated_occupied_cells(n_point_cells, kernel_width, ndim, total_cells)
+    else:
+        cells_per_bin = float(np.prod(sort.bin_shape))
+        occupied = occupied_cells_estimate(
+            sort.bin_counts, cells_per_bin, kernel_width, ndim
+        )
+    occupied = min(occupied, total_cells)
+    grid_bytes = total_cells * complex_itemsize
+    occupied_bytes = occupied * complex_itemsize
+    return occupied, grid_bytes, occupied_bytes
+
+
+def spread_kernel_profiles(method, sort, kernel, precision, threads_per_block=128,
+                           spec=None):
+    """Exec-phase kernel profiles for one spreading pass.
+
+    Parameters
+    ----------
+    method : SpreadMethod
+        GM, GM_SORT or SM (AUTO must be resolved by the caller).
+    sort : BinSort
+        Bin statistics of the nonuniform points (computed for every method --
+        GM does not *use* the permutation, but its contention estimate needs
+        the occupancy histogram).
+    kernel : ESKernel or compatible
+        Spreading kernel (only ``width`` matters here).
+    precision : Precision
+        Determines item sizes.
+    threads_per_block : int
+        Launch geometry for the cost model.
+    spec : DeviceSpec, optional
+        Needed by the SM method to validate the shared-memory fit.
+
+    Returns
+    -------
+    list of KernelProfile
+    """
+    method = SpreadMethod.parse(method)
+    ndim = len(sort.fine_shape)
+    w = kernel.width
+    m = sort.n_points
+    real_sz = precision.real_itemsize
+    cplx_sz = precision.complex_itemsize
+    occupied, grid_bytes, occupied_bytes = _occupancy_stats(sort, w, cplx_sz)
+    ops = float(m) * (w ** ndim)
+
+    if method is SpreadMethod.GM:
+        working_set = min(grid_bytes, occupied_bytes)
+        profile = KernelProfile(
+            name=f"spread_{ndim}d_gm",
+            grid_blocks=max(1.0, m / threads_per_block),
+            block_threads=threads_per_block,
+            flops=_spread_flops(m, w, ndim),
+            stream_bytes=_point_read_bytes(m, ndim, real_sz, cplx_sz),
+            global_atomic_ops=ops,
+            global_atomic_sector_ops=scattered_sector_ops(ops, min(cplx_sz, 16)),
+            global_atomic_distinct_addresses=occupied,
+            global_atomic_miss_fraction=l2_miss_fraction_random(working_set, _l2(spec)),
+        )
+        return [profile]
+
+    if method is SpreadMethod.GM_SORT:
+        # Localized writes: each point writes w^(d-1) contiguous rows of w cells.
+        rows = float(m) * (w ** (ndim - 1))
+        sector_ops = localized_sector_ops(rows, w, cplx_sz, reuse_factor=1.5)
+        active_bins = min(sort.n_nonempty_bins, 2 * 80)  # blocks in flight
+        padded_cells = float(np.prod(padded_bin_shape(sort.bin_shape, w)))
+        footprint = active_bins * padded_cells * cplx_sz
+        profile = KernelProfile(
+            name=f"spread_{ndim}d_gmsort",
+            grid_blocks=max(1.0, m / threads_per_block),
+            block_threads=threads_per_block,
+            flops=_spread_flops(m, w, ndim),
+            stream_bytes=_point_read_bytes(m, ndim, real_sz, cplx_sz, with_index=True),
+            gather_sector_ops=2.0 * m,  # indirect (permuted) point loads
+            gather_miss_fraction=0.2,
+            global_atomic_ops=ops,
+            global_atomic_sector_ops=sector_ops,
+            global_atomic_distinct_addresses=occupied,
+            global_atomic_miss_fraction=l2_miss_fraction_localized(footprint, _l2(spec)),
+        )
+        return [profile]
+
+    if method is SpreadMethod.SM:
+        # Default Msub = 1024 (paper Remark 1); callers with a different cap
+        # (the Plan, the Msub ablation bench) call spread_sm_kernel_profiles
+        # directly with their own subproblem split.
+        subproblems = make_subproblems(sort, 1024)
+        return spread_sm_kernel_profiles(
+            sort, kernel, precision, subproblems, threads_per_block, spec
+        )
+
+    raise ValueError(f"cannot profile method {method!r}")
+
+
+def spread_sm_kernel_profiles(sort, kernel, precision, subproblems,
+                              threads_per_block=128, spec=None):
+    """Exec-phase profiles for the SM spreader with an explicit subproblem split."""
+    ndim = len(sort.fine_shape)
+    w = kernel.width
+    m = sort.n_points
+    real_sz = precision.real_itemsize
+    cplx_sz = precision.complex_itemsize
+    occupied, grid_bytes, occupied_bytes = _occupancy_stats(sort, w, cplx_sz)
+
+    if spec is not None:
+        check_shared_memory_fit(sort.bin_shape, w, cplx_sz, spec)
+
+    local_shape = padded_bin_shape(sort.bin_shape, w)
+    padded_cells = float(np.prod(local_shape))
+    n_sub = max(1, subproblems.n_subproblems)
+    ops = float(m) * (w ** ndim)
+
+    # Shared-memory contention: distinct addresses a subproblem's points hit.
+    # A subproblem of P points whose point cells span ``point_cells`` distinct
+    # cells writes a region of the padded bin that is that set dilated by the
+    # kernel width; intra-block serialization only matters when the resulting
+    # region is much smaller than the number of active lanes.
+    avg_points_per_sub = m / n_sub if n_sub else 0.0
+    n_point_cells = getattr(sort, "n_occupied_cells", 0) or 1
+    point_cells_per_sub = min(
+        max(1.0, avg_points_per_sub),
+        max(1.0, n_point_cells / max(1, sort.n_nonempty_bins)),
+    )
+    cells_per_sub = dilated_occupied_cells(point_cells_per_sub, w, ndim, padded_cells)
+    cells_per_sub = max(1.0, cells_per_sub)
+
+    spread_profile = KernelProfile(
+        name=f"spread_{ndim}d_sm",
+        grid_blocks=float(n_sub),
+        block_threads=threads_per_block,
+        flops=_spread_flops(m, w, ndim),
+        stream_bytes=_point_read_bytes(m, ndim, real_sz, cplx_sz, with_index=True),
+        shared_atomic_ops=ops,
+        shared_atomic_distinct_addresses=cells_per_sub,
+        shared_mem_per_block=padded_cells * cplx_sz,
+    )
+
+    # Step 3: write the padded bins back to global memory with coalesced atomics.
+    writeback_ops = float(n_sub) * padded_cells
+    rows = float(n_sub) * padded_cells / local_shape[-1]
+    writeback_sectors = rows * sectors_for_contiguous_run(local_shape[-1] * cplx_sz)
+    writeback_profile = KernelProfile(
+        name=f"spread_{ndim}d_sm_writeback",
+        grid_blocks=float(n_sub),
+        block_threads=threads_per_block,
+        flops=2.0 * writeback_ops,
+        global_atomic_ops=writeback_ops,
+        global_atomic_sector_ops=writeback_sectors,
+        global_atomic_distinct_addresses=max(padded_cells, occupied),
+        global_atomic_miss_fraction=l2_miss_fraction_random(
+            min(grid_bytes, occupied_bytes), _l2(spec)
+        ),
+        shared_mem_per_block=padded_cells * cplx_sz,
+    )
+    return [spread_profile, writeback_profile]
+
+
+def _l2(spec):
+    """L2 size of the given spec, defaulting to the V100."""
+    if spec is not None:
+        return spec.l2_cache_bytes
+    from ..gpu.device import V100_SPEC
+
+    return V100_SPEC.l2_cache_bytes

@@ -1,0 +1,136 @@
+"""Atomic-operation contention model.
+
+Global atomic adds on Volta are resolved by the L2 atomic units.  Their
+*aggregate* throughput is high when the target addresses are spread out, but
+atomics to the *same* address serialize: the update queue for a hot address
+drains one operation at a time.  The paper's "cluster" distribution -- all M
+nonuniform points inside an 8h-per-side box -- is designed to expose exactly
+this failure mode of input-driven (GM) spreading, and is why CUNFFT is up to
+200x slower on clustered type-1 transforms (Sec. IV-C) while the SM method,
+whose atomics land in block-local shared memory and whose global write-back
+touches each padded-bin cell once, stays fast.
+
+The model here is deliberately simple and monotone:
+
+* the expected *queue depth* on a target address is the number of in-flight
+  atomic operations divided by the number of distinct addresses being
+  updated;
+* each operation pays an extra serialization delay proportional to
+  ``queue_depth - 1`` (no penalty when addresses outnumber the in-flight
+  operations).
+
+The in-flight window and per-slot delay are device-calibration constants in
+:mod:`repro.gpu.costmodel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "expected_queue_depth",
+    "serialization_delay_ns",
+    "occupied_cells_estimate",
+    "dilated_occupied_cells",
+]
+
+
+def expected_queue_depth(inflight_ops, distinct_addresses):
+    """Expected number of concurrent atomics queued on one address.
+
+    Parameters
+    ----------
+    inflight_ops : float
+        Number of atomic operations simultaneously in flight on the device
+        (a hardware-ish constant, of order 10^4 on a V100).
+    distinct_addresses : float
+        Number of distinct memory addresses being targeted by the kernel
+        (for spreading: the number of fine-grid cells actually receiving
+        writes).
+
+    Returns
+    -------
+    float
+        ``max(1, inflight / distinct)``; 1 means no contention.
+    """
+    if inflight_ops < 0:
+        raise ValueError("inflight_ops must be nonnegative")
+    if distinct_addresses <= 0:
+        raise ValueError("distinct_addresses must be positive")
+    return max(1.0, float(inflight_ops) / float(distinct_addresses))
+
+
+def serialization_delay_ns(n_ops, queue_depth, per_slot_ns):
+    """Total extra nanoseconds caused by atomic serialization.
+
+    Each of the ``n_ops`` operations waits behind ``queue_depth - 1`` earlier
+    operations on average, each taking ``per_slot_ns`` to drain.
+
+    Returns 0 when ``queue_depth <= 1``.
+    """
+    if n_ops < 0:
+        raise ValueError("n_ops must be nonnegative")
+    if per_slot_ns < 0:
+        raise ValueError("per_slot_ns must be nonnegative")
+    extra = max(0.0, queue_depth - 1.0)
+    return float(n_ops) * extra * per_slot_ns
+
+
+def dilated_occupied_cells(n_point_cells, kernel_width, ndim, total_cells):
+    """Distinct fine-grid cells written by spreading, from the point-cell count.
+
+    ``n_point_cells`` is the number of distinct cells that *contain* at least
+    one nonuniform point.  Spreading dilates that set by the kernel width; we
+    approximate the dilation by treating the occupied set as a cube of side
+    ``u^(1/d)`` and adding ``w`` to the side:
+
+    ``covered = (u^(1/d) + w)^d``,  capped at the total number of grid cells.
+
+    This matches the two regimes that matter for contention:
+
+    * "cluster": u = 64 cells in 2D -> (8 + w)^2 covered cells, a tiny hot
+      region that serializes global atomics;
+    * "rand": u ~ M cells -> covered ~ M, no contention.
+    """
+    if n_point_cells < 1:
+        return 1.0
+    if total_cells <= 0:
+        raise ValueError("total_cells must be positive")
+    side = float(n_point_cells) ** (1.0 / ndim)
+    covered = (side + float(kernel_width)) ** ndim
+    return float(min(covered, total_cells))
+
+
+def occupied_cells_estimate(bin_counts, cells_per_bin, kernel_width, ndim):
+    """Estimate of distinct fine-grid cells receiving spread writes.
+
+    Spreading writes to every cell within the kernel half-width of some
+    nonuniform point.  We estimate that set from the bin occupancy histogram:
+    every *nonempty* bin contributes its own cells plus a kernel-width apron
+    (the padded bin), and the result is capped at the number of cells implied
+    by the total grid (callers cap separately if they know it).
+
+    Parameters
+    ----------
+    bin_counts : ndarray
+        Histogram of points per bin (any shape; only nonzero entries matter).
+    cells_per_bin : float
+        Number of fine-grid cells per (unpadded) bin.
+    kernel_width : int
+        Spreading kernel width ``w``.
+    ndim : int
+        Dimensionality (2 or 3).
+
+    Returns
+    -------
+    float
+        Estimated number of distinct cells written (>= 1).
+    """
+    bin_counts = np.asarray(bin_counts)
+    nonempty = int(np.count_nonzero(bin_counts))
+    if nonempty == 0:
+        return 1.0
+    # Padded-to-plain volume ratio for a roughly cubic bin of the same volume.
+    side = cells_per_bin ** (1.0 / ndim)
+    ratio = ((side + kernel_width) / side) ** ndim
+    return max(1.0, nonempty * cells_per_bin * ratio)

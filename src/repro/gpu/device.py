@@ -1,0 +1,194 @@
+"""Device description and device objects for the simulated GPU.
+
+:class:`DeviceSpec` is a frozen description of the hardware parameters the
+cost model needs.  :data:`V100_SPEC` matches the NVIDIA Tesla V100 (SXM2,
+16 GB) used for all GPU timings in the paper.  :class:`Device` is a live
+device: it owns a :class:`repro.gpu.memory.MemoryPool` (so benchmarks can
+report GPU RAM usage like the paper's Table I) and a contention counter used
+by the multi-rank weak-scaling model (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceSpec", "Device", "V100_SPEC"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of a (simulated) CUDA device.
+
+    The defaults of the module-level :data:`V100_SPEC` instance correspond to
+    the Tesla V100 used in the paper (released 2017, 900 GB/s HBM2,
+    80 SMs, 49152 B of shared memory usable per thread block).
+
+    Attributes
+    ----------
+    name : str
+        Marketing name, used in reports.
+    sm_count : int
+        Number of streaming multiprocessors.
+    warp_size : int
+        Threads per warp.
+    max_threads_per_block : int
+        CUDA limit on block size.
+    shared_mem_per_block : int
+        Usable shared memory per thread block, in bytes.  The paper quotes
+        49 kB and derives the SM-method bin-size constraint from it.
+    l2_cache_bytes : int
+        L2 cache size; determines when unsorted global accesses start missing
+        to DRAM (the fine grid no longer fits).
+    global_mem_bytes : int
+        Device memory capacity.
+    global_mem_bandwidth : float
+        Peak DRAM bandwidth in bytes/second.
+    global_mem_transaction_bytes : int
+        Minimum DRAM transaction granularity (32 B sectors on Volta).
+    fp32_flops : float
+        Peak single-precision throughput, FLOP/s.
+    fp64_flops : float
+        Peak double-precision throughput, FLOP/s.
+    global_atomic_ns : float
+        Cost of an uncontended global atomic update that misses L2.
+    l2_atomic_ns : float
+        Cost of an uncontended global atomic resolved in L2.
+    shared_atomic_ns : float
+        Cost of an uncontended shared-memory atomic update.
+    kernel_launch_us : float
+        Fixed launch latency per kernel, microseconds.
+    pcie_bandwidth : float
+        Host <-> device transfer bandwidth, bytes/second.
+    pcie_latency_us : float
+        Per-transfer latency, microseconds.
+    malloc_overhead_us : float
+        Fixed cost of a ``cudaMalloc``.
+    """
+
+    name: str = "Tesla V100-SXM2-16GB"
+    sm_count: int = 80
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    shared_mem_per_block: int = 49152
+    l2_cache_bytes: int = 6 * 1024 * 1024
+    global_mem_bytes: int = 16 * 1024**3
+    global_mem_bandwidth: float = 900.0e9
+    global_mem_transaction_bytes: int = 32
+    fp32_flops: float = 14.0e12
+    fp64_flops: float = 7.0e12
+    global_atomic_ns: float = 0.9
+    l2_atomic_ns: float = 0.22
+    shared_atomic_ns: float = 0.035
+    kernel_launch_us: float = 5.0
+    pcie_bandwidth: float = 12.0e9
+    pcie_latency_us: float = 10.0
+    malloc_overhead_us: float = 100.0
+
+    def flops(self, dtype_itemsize):
+        """Peak arithmetic throughput for the given floating-point item size.
+
+        ``dtype_itemsize`` is the size in bytes of the *real* scalar type
+        (4 for float32/complex64 arithmetic, 8 for float64/complex128).
+        """
+        return self.fp32_flops if dtype_itemsize <= 4 else self.fp64_flops
+
+    def effective_bandwidth(self, fraction_of_peak=0.8):
+        """Sustained bandwidth achievable by a well-tuned streaming kernel."""
+        return self.global_mem_bandwidth * fraction_of_peak
+
+
+#: The Tesla V100 configuration used for every GPU measurement in the paper.
+V100_SPEC = DeviceSpec()
+
+
+@dataclass
+class Device:
+    """A live simulated device.
+
+    Parameters
+    ----------
+    spec : DeviceSpec
+        Hardware description.
+    device_id : int
+        CUDA-style ordinal, used by the multi-GPU round-robin assignment.
+
+    Attributes
+    ----------
+    memory : MemoryPool
+        Tracks allocations so benchmarks can report RAM usage (Table I).
+    active_contexts : int
+        Number of MPI ranks currently sharing this device; the weak-scaling
+        model slows kernels down once this exceeds 1 (paper Fig. 9 shows
+        "rapid deterioration of weak scaling once each GPU is used by more
+        than one rank").
+    """
+
+    spec: DeviceSpec = field(default_factory=lambda: V100_SPEC)
+    device_id: int = 0
+    active_contexts: int = 0
+
+    def __post_init__(self):
+        # Imported here to avoid a circular import at module load.
+        from .memory import MemoryPool
+
+        self.memory = MemoryPool(capacity_bytes=self.spec.global_mem_bytes)
+
+    # -- context management (mirrors pycuda's make_context usage in Sec. V-A) --
+    def make_context(self):
+        """Register a host process (MPI rank) on this device."""
+        self.active_contexts += 1
+        return _DeviceContext(self)
+
+    def release_context(self):
+        """Release one process's claim on the device."""
+        if self.active_contexts <= 0:
+            raise RuntimeError("release_context called with no active context")
+        self.active_contexts -= 1
+
+    @property
+    def contention_factor(self):
+        """Kernel slowdown from multiple ranks sharing the device.
+
+        One rank (or zero, for single-process use) runs at full speed.  With
+        ``r > 1`` ranks time-slicing the device, each rank's kernels take
+        roughly ``r`` times as long (plus a small context-switch overhead),
+        which is exactly the behaviour Fig. 9 shows past one rank per GPU.
+        """
+        r = max(1, self.active_contexts)
+        if r == 1:
+            return 1.0
+        return r * 1.05
+
+    def reset(self):
+        """Free all allocations and forget contexts (test helper)."""
+        from .memory import MemoryPool
+
+        self.memory = MemoryPool(capacity_bytes=self.spec.global_mem_bytes)
+        self.active_contexts = 0
+
+    def __repr__(self):  # pragma: no cover - debugging nicety
+        return (
+            f"Device(id={self.device_id}, spec={self.spec.name!r}, "
+            f"allocated={self.memory.allocated_bytes} B, "
+            f"contexts={self.active_contexts})"
+        )
+
+
+class _DeviceContext:
+    """Context-manager returned by :meth:`Device.make_context`."""
+
+    def __init__(self, device):
+        self.device = device
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.pop()
+        return False
+
+    def pop(self):
+        """Release the context (mirrors ``pycuda`` context ``pop``/``detach``)."""
+        if self.device is not None:
+            self.device.release_context()
+            self.device = None

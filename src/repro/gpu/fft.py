@@ -1,0 +1,101 @@
+"""cuFFT-like FFT execution on the simulated device.
+
+The NUFFT pipelines use a plain d-dimensional (inverse) FFT of the fine grid
+(paper Step 2).  Numerically we delegate to ``numpy.fft`` (pocketfft), which
+is exact for our purposes; the *cost* is modelled the way cuFFT behaves on a
+V100:
+
+* an arithmetic term ``~5 N log2 N`` flops for a size-``N`` complex
+  transform,
+* a memory term of a few full passes over the data at streaming bandwidth
+  (large multi-dimensional FFTs on GPUs are bandwidth bound),
+* a one-time plan-creation cost of ~0.15 s, which the paper explicitly
+  excludes by issuing a dummy ``cufftPlan1d`` call -- we expose the same
+  switch via ``include_startup``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .profiler import KernelProfile
+
+__all__ = ["DeviceFFT", "fft_flops", "fft_kernel_profile"]
+
+#: Number of effective full passes over the data a multi-dimensional
+#: out-of-place cuFFT performs (read + write per dimension pass, fused).
+_FFT_MEMORY_PASSES = 4.0
+
+
+def fft_flops(shape):
+    """Approximate flop count of a complex FFT of the given shape (5 N log2 N)."""
+    n_total = int(np.prod(shape))
+    if n_total <= 0:
+        raise ValueError(f"invalid FFT shape {shape!r}")
+    return 5.0 * n_total * max(1.0, np.log2(n_total))
+
+
+def fft_kernel_profile(shape, itemsize_complex, name="cufft"):
+    """Kernel profile of one (forward or inverse) FFT execution."""
+    n_total = int(np.prod(shape))
+    return KernelProfile(
+        name=name,
+        grid_blocks=max(1.0, n_total / 256.0),
+        block_threads=256.0,
+        flops=fft_flops(shape),
+        stream_bytes=_FFT_MEMORY_PASSES * n_total * itemsize_complex,
+    )
+
+
+class DeviceFFT:
+    """Executes FFTs numerically and records their cost profile.
+
+    Parameters
+    ----------
+    pipeline : PipelineProfile or None
+        If given, every transform appends its kernel profile there.
+    warm : bool
+        Whether the cuFFT "plan" has already been created (startup cost paid).
+        The benchmark harness creates plans warm, matching the paper's dummy
+        ``cufftPlan1d`` call.
+    """
+
+    def __init__(self, pipeline=None, warm=True):
+        self.pipeline = pipeline
+        self.warm = warm
+        self.startup_pending = not warm
+
+    def _record(self, shape, dtype, name):
+        if self.pipeline is not None:
+            self.pipeline.add_kernel(
+                fft_kernel_profile(shape, np.dtype(dtype).itemsize, name=name),
+                phase="exec",
+            )
+
+    def forward(self, grid):
+        """Forward FFT of a complex fine grid (paper Eq. (9)).
+
+        Note the sign convention: the paper's type-1 step 2 uses
+        ``exp(-2 pi i l k / n)`` which matches ``numpy.fft.fftn``.
+        """
+        grid = np.asarray(grid)
+        if not np.iscomplexobj(grid):
+            raise TypeError("FFT input must be complex")
+        self._record(grid.shape, grid.dtype, "cufft_forward")
+        self.startup_pending = False
+        return np.fft.fftn(grid).astype(grid.dtype, copy=False)
+
+    def inverse(self, grid):
+        """Unnormalized inverse FFT (paper Eq. (12)): plain conjugate-sign sum.
+
+        cuFFT's inverse is unnormalized (no 1/N factor), and the type-2
+        algorithm wants exactly that, so we multiply numpy's normalized
+        ``ifftn`` back by N.
+        """
+        grid = np.asarray(grid)
+        if not np.iscomplexobj(grid):
+            raise TypeError("FFT input must be complex")
+        self._record(grid.shape, grid.dtype, "cufft_inverse")
+        self.startup_pending = False
+        n_total = int(np.prod(grid.shape))
+        return (np.fft.ifftn(grid) * n_total).astype(grid.dtype, copy=False)

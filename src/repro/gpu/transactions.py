@@ -1,0 +1,148 @@
+"""Global-memory transaction (coalescing and caching) model.
+
+On Volta-class GPUs global memory is moved in 32-byte *sectors*.  A warp's
+accesses are coalesced into the minimal set of sectors they touch:
+
+* a warp reading 32 consecutive 4-byte words touches 4 sectors (fully
+  coalesced -- the ideal streaming pattern);
+* a warp writing 32 *scattered* 4- or 8-byte values touches up to 32 distinct
+  sectors, i.e. each access pays for a whole sector even though it uses only a
+  fraction of it.
+
+Whether a sector op is served by the 6 MB L2 cache or goes to DRAM depends on
+the working set: once the fine grid is much larger than L2, scattered accesses
+miss almost always, while *bin-sorted* accesses keep a warp's footprint inside
+a few cache lines and hit.
+
+This module provides the counting helpers used by the spreading/interpolation
+cost estimators.  All functions are pure and operate on plain numbers so they
+are trivially testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sectors_for_contiguous_run",
+    "streaming_bytes_time_fraction",
+    "l2_miss_fraction_random",
+    "l2_miss_fraction_localized",
+    "scattered_sector_ops",
+    "localized_sector_ops",
+]
+
+
+def sectors_for_contiguous_run(run_bytes, sector_bytes=32):
+    """Number of 32-byte sectors spanned by one contiguous run of bytes.
+
+    A run of ``b`` contiguous bytes starting at a random (unaligned) offset
+    touches on average ``b/sector + 1`` sectors; we use the ceiling of that
+    expectation, with a floor of one sector.
+
+    Parameters
+    ----------
+    run_bytes : float
+        Length of the contiguous run in bytes (e.g. ``w * itemsize`` for a
+        kernel row written by one thread).
+    sector_bytes : int, optional
+        DRAM sector granularity.
+
+    Returns
+    -------
+    float
+        Expected sector count (>= 1).
+    """
+    if run_bytes <= 0:
+        raise ValueError(f"run_bytes must be positive, got {run_bytes}")
+    return max(1.0, float(np.ceil(run_bytes / sector_bytes)))
+
+
+def l2_miss_fraction_random(working_set_bytes, l2_bytes):
+    """Fraction of *randomly addressed* sector ops that miss L2 to DRAM.
+
+    A standard cache model for uniformly random accesses over a working set
+    ``W`` with cache size ``C``: the hit probability is ``min(1, C/W)``.
+
+    Parameters
+    ----------
+    working_set_bytes : float
+        Size of the region being accessed at random (e.g. the whole fine
+        grid for unsorted spreading, or the occupied sub-region for a
+        clustered distribution).
+    l2_bytes : float
+        L2 capacity.
+
+    Returns
+    -------
+    float in [0, 1]
+    """
+    if working_set_bytes <= 0:
+        return 0.0
+    hit = min(1.0, l2_bytes / float(working_set_bytes))
+    return 1.0 - hit
+
+
+def l2_miss_fraction_localized(active_footprint_bytes, l2_bytes):
+    """Miss fraction for *localized* (bin-sorted) access.
+
+    After bin-sorting, the threads in flight at any moment touch only the
+    padded-bin regions of the bins currently being processed; as long as that
+    *active footprint* fits in L2 the steady-state miss rate is just the
+    compulsory-miss trickle, which we approximate as 2%.  If even the active
+    footprint exceeds L2, the model degrades gracefully toward the random
+    model.
+    """
+    if active_footprint_bytes <= 0:
+        return 0.0
+    if active_footprint_bytes <= l2_bytes:
+        return 0.02
+    return max(0.02, l2_miss_fraction_random(active_footprint_bytes, l2_bytes))
+
+
+def scattered_sector_ops(n_accesses, itemsize, sector_bytes=32):
+    """Sector ops for accesses at uncorrelated addresses (no coalescing).
+
+    Every access touches its own sector (two if an element straddles a sector
+    boundary, which we ignore since ``itemsize <= sector_bytes`` here).
+
+    Parameters
+    ----------
+    n_accesses : float
+        Number of scalar/complex element accesses.
+    itemsize : int
+        Bytes per element (kept for signature symmetry / validation).
+    """
+    if itemsize <= 0 or itemsize > sector_bytes:
+        raise ValueError(f"itemsize must be in (0, {sector_bytes}], got {itemsize}")
+    return float(n_accesses)
+
+
+def localized_sector_ops(n_rows, row_elements, itemsize, sector_bytes=32, reuse_factor=1.0):
+    """Sector ops for row-wise localized access (bin-sorted spreading).
+
+    Each thread touches ``n_rows`` contiguous runs of ``row_elements``
+    elements (a 2D spreader writes ``w`` rows of ``w`` cells; a 3D spreader
+    writes ``w^2`` rows of ``w`` cells).  Runs coalesce into
+    ``ceil(row_bytes / sector)`` sectors, and neighbouring threads of a warp
+    that land in the same bin may share sectors; ``reuse_factor >= 1`` divides
+    the count to account for that sharing.
+
+    Returns
+    -------
+    float
+        Expected sector ops for the whole set of rows.
+    """
+    if reuse_factor < 1.0:
+        raise ValueError(f"reuse_factor must be >= 1, got {reuse_factor}")
+    per_row = sectors_for_contiguous_run(row_elements * itemsize, sector_bytes)
+    return float(n_rows) * per_row / reuse_factor
+
+
+def streaming_bytes_time_fraction(nbytes, bandwidth):
+    """Seconds to stream ``nbytes`` at a sustained bandwidth (convenience)."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be nonnegative")
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return nbytes / bandwidth

@@ -1,0 +1,29 @@
+"""Spreading/interpolation kernel substrate.
+
+This subpackage implements the window ("spreading") kernels used by the NUFFT
+libraries reproduced in this repository:
+
+* :mod:`repro.kernels.es_kernel` -- the "exponential of semicircle" (ES)
+  kernel used by FINUFFT and cuFINUFFT (paper Eq. (5)-(6)).
+* :mod:`repro.kernels.kernel_ft` -- accurate Fourier transforms of the kernels
+  via Gauss-Legendre quadrature, needed for the deconvolution (correction)
+  step.
+* :mod:`repro.kernels.gaussian` -- the truncated Gaussian kernel used by the
+  CUNFFT baseline.
+* :mod:`repro.kernels.kaiser_bessel` -- the Kaiser-Bessel kernel used by the
+  gpuNUFFT baseline.
+"""
+
+from .es_kernel import ESKernel, kernel_params_for_tolerance
+from .gaussian import GaussianKernel
+from .kaiser_bessel import KaiserBesselKernel
+from .kernel_ft import kernel_fourier_series, quadrature_kernel_ft
+
+__all__ = [
+    "ESKernel",
+    "GaussianKernel",
+    "KaiserBesselKernel",
+    "kernel_params_for_tolerance",
+    "kernel_fourier_series",
+    "quadrature_kernel_ft",
+]

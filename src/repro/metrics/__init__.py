@@ -1,0 +1,15 @@
+"""Timing, modeling and table-emission utilities shared by the benchmarks."""
+
+from .modeling import ModelResult, model_cufinufft, sample_spread_stats
+from .tables import format_table, speedup
+from .timing import WallClock, ns_per_point
+
+__all__ = [
+    "ModelResult",
+    "model_cufinufft",
+    "sample_spread_stats",
+    "format_table",
+    "speedup",
+    "WallClock",
+    "ns_per_point",
+]

@@ -1,0 +1,250 @@
+"""Paper-scale timing estimation without paper-scale numerics.
+
+The paper's figures use up to ``M = 1.3e8`` nonuniform points.  Running the
+*numerics* at that size in pure NumPy would be slow and pointless -- the
+modelled device time depends on the problem only through aggregate occupancy
+statistics (how many points, which bins they fall in, the grid geometry).
+This module therefore:
+
+1. samples the requested point distribution at a reduced size
+   (``max_sample`` points),
+2. bin-sorts the sample and rescales the histogram to the full point count
+   (:meth:`repro.core.binsort.SpreadStats.scaled`),
+3. assembles the same kernel/transfer profiles a :class:`repro.core.plan.Plan`
+   would record, and
+4. prices them with the cost model.
+
+The result carries the paper's three timings plus RAM and spread-fraction
+estimates, so one function call produces a row of any benchmark table.
+Accuracy columns are handled separately (by running real numerics at a small
+problem size, or by the kernels' ``estimated_error``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+import numpy as np
+
+from ..core.binsort import (
+    SpreadStats,
+    bin_sort,
+    binsort_kernel_profiles,
+    estimate_subproblem_count,
+    to_grid_coordinates,
+)
+from ..core.deconvolve import deconvolve_kernel_profile
+from ..core.gridsize import fine_grid_shape
+from ..core.interp import interp_kernel_profiles
+from ..core.options import Opts, Precision, SpreadMethod
+from ..core.plan import CUDA_CONTEXT_MB
+from ..core.spread import spread_kernel_profiles, spread_sm_kernel_profiles
+from ..gpu.costmodel import CostModel
+from ..gpu.device import V100_SPEC
+from ..gpu.fft import fft_kernel_profile
+from ..gpu.profiler import PipelineProfile
+from ..kernels.es_kernel import ESKernel
+from ..workloads.distributions import make_distribution
+from .timing import ns_per_point
+
+__all__ = ["ModelResult", "sample_spread_stats", "model_cufinufft"]
+
+#: Default cap on the number of points actually generated for sampling.
+DEFAULT_MAX_SAMPLE = 1 << 21
+
+
+@dataclass
+class ModelResult:
+    """Modelled performance of one transform configuration.
+
+    Attributes
+    ----------
+    times : dict
+        Seconds for ``exec``, ``setup``, ``total``, ``mem``, ``total+mem``.
+    n_points : int
+        Paper-scale point count the times refer to.
+    ram_mb : float
+        Simulated device memory including the CUDA-context baseline.
+    spread_fraction : float
+        Fraction of "exec" spent in spreading/interpolation kernels.
+    error_estimate : float
+        Heuristic relative l2 error delivered at the requested tolerance.
+    meta : dict
+        Extra information (method, kernel width, fine grid, ...).
+    """
+
+    times: dict
+    n_points: int
+    ram_mb: float
+    spread_fraction: float
+    error_estimate: float
+    meta: dict = field(default_factory=dict)
+
+    def ns_per_point(self, key="exec"):
+        return ns_per_point(self.times[key], self.n_points)
+
+
+def sample_spread_stats(distribution, n_points, fine_shape, bin_shape, rng=None,
+                        max_sample=DEFAULT_MAX_SAMPLE):
+    """Occupancy statistics of ``n_points`` points of a named distribution.
+
+    At most ``max_sample`` points are actually generated; the histogram is
+    rescaled to ``n_points`` afterwards.
+    """
+    n_points = int(n_points)
+    ndim = len(fine_shape)
+    n_sample = int(min(n_points, max_sample))
+    coords = make_distribution(distribution, n_sample, ndim, fine_shape=fine_shape, rng=rng)
+    grid_coords = [to_grid_coordinates(coords[d], fine_shape[d]) for d in range(ndim)]
+    sort = bin_sort(grid_coords, fine_shape, bin_shape)
+    stats = SpreadStats.from_binsort(sort)
+    if n_sample != n_points:
+        stats = stats.scaled(n_points)
+    return stats
+
+
+def _device_allocation_bytes(fine_shape, n_modes, n_points, ndim, precision, sorted_method):
+    """Bytes of the plan-lifetime device allocations (mirrors Plan.__init__/set_pts)."""
+    cplx = precision.complex_itemsize
+    real = precision.real_itemsize
+    total = 0.0
+    n_fine = float(np.prod(fine_shape))
+    total += n_fine * cplx            # fine grid
+    total += n_fine * cplx            # cuFFT workspace
+    total += sum(n_modes) * real      # separable correction factors
+    total += ndim * n_points * real   # point coordinates
+    if sorted_method:
+        total += 2.0 * 4.0 * n_points  # bin index + permutation (int32)
+    return total
+
+
+def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
+                    distribution="rand", precision="single", opts=None,
+                    spec=None, rng=None, max_sample=DEFAULT_MAX_SAMPLE,
+                    spread_only=False, fine_shape=None, stats=None):
+    """Model the paper's three timings for one cuFINUFFT transform.
+
+    Parameters mirror :class:`repro.core.plan.Plan`; ``spread_only`` restricts
+    the exec phase to the spread/interp kernel (Figs. 2 and 3), and
+    ``fine_shape`` overrides the derived fine grid (those figures sweep the
+    fine grid directly).  ``stats`` can supply precomputed
+    :class:`~repro.core.binsort.SpreadStats` to avoid repeated sampling.
+
+    Returns
+    -------
+    ModelResult
+    """
+    spec = spec if spec is not None else V100_SPEC
+    precision = Precision.parse(precision)
+    base_opts = opts if opts is not None else Opts(precision=precision)
+    n_modes = tuple(int(n) for n in n_modes)
+    ndim = len(n_modes)
+    method = SpreadMethod.parse(method)
+    if method is SpreadMethod.AUTO:
+        method = base_opts.resolve_method(nufft_type, ndim, precision)
+
+    kernel = ESKernel.from_tolerance(eps)
+    if fine_shape is None:
+        fine_shape = fine_grid_shape(n_modes, kernel.width, base_opts.upsampfac)
+    fine_shape = tuple(int(n) for n in fine_shape)
+    bin_shape = base_opts.resolved_bin_shape(ndim)
+
+    # SM fallback for configurations whose padded bin exceeds shared memory
+    # (paper Remark 2: 3D double precision at high accuracy).
+    if method is SpreadMethod.SM:
+        from ..gpu.threadblock import LaunchConfigError, check_shared_memory_fit
+
+        try:
+            check_shared_memory_fit(bin_shape, kernel.width, precision.complex_itemsize, spec)
+        except LaunchConfigError:
+            method = SpreadMethod.GM_SORT
+
+    if stats is None:
+        stats = sample_spread_stats(
+            distribution, n_points, fine_shape, bin_shape, rng=rng, max_sample=max_sample
+        )
+
+    pipeline = PipelineProfile()
+    sorted_method = method in (SpreadMethod.GM_SORT, SpreadMethod.SM)
+
+    # --- setup phase -----------------------------------------------------
+    if sorted_method:
+        for prof in binsort_kernel_profiles(
+            stats.n_points, stats.n_bins, ndim, precision.real_itemsize,
+            base_opts.threads_per_block,
+        ):
+            pipeline.add_kernel(prof, phase="setup")
+
+    # --- exec phase ------------------------------------------------------
+    if nufft_type == 1:
+        if method is SpreadMethod.SM:
+            n_sub = estimate_subproblem_count(stats.bin_counts, base_opts.max_subproblem_size)
+            subproblems = SimpleNamespace(n_subproblems=max(1, n_sub))
+            profiles = spread_sm_kernel_profiles(
+                stats, kernel, precision, subproblems, base_opts.threads_per_block, spec
+            )
+        else:
+            profiles = spread_kernel_profiles(
+                method, stats, kernel, precision, base_opts.threads_per_block, spec
+            )
+    else:
+        interp_method = method if method is not SpreadMethod.SM else SpreadMethod.GM_SORT
+        profiles = interp_kernel_profiles(
+            interp_method, stats, kernel, precision, base_opts.threads_per_block, spec
+        )
+    for prof in profiles:
+        pipeline.add_kernel(prof, phase="exec")
+
+    if not spread_only:
+        pipeline.add_kernel(
+            fft_kernel_profile(fine_shape, precision.complex_itemsize), phase="exec"
+        )
+        pipeline.add_kernel(
+            deconvolve_kernel_profile(n_modes, precision.complex_itemsize), phase="exec"
+        )
+
+    # --- transfers and allocations ---------------------------------------
+    cplx = precision.complex_itemsize
+    real = precision.real_itemsize
+    n_mode_total = float(np.prod(n_modes))
+    alloc_bytes = _device_allocation_bytes(
+        fine_shape, n_modes, stats.n_points, ndim, precision, sorted_method
+    )
+    pipeline.add_transfer("alloc", alloc_bytes, "plan allocations")
+    pipeline.add_transfer("h2d", ndim * stats.n_points * real, "points")
+    if nufft_type == 1:
+        pipeline.add_transfer("h2d", stats.n_points * cplx, "strengths")
+        pipeline.add_transfer("d2h", n_mode_total * cplx, "modes")
+    else:
+        pipeline.add_transfer("h2d", n_mode_total * cplx, "modes")
+        pipeline.add_transfer("d2h", stats.n_points * cplx, "targets")
+
+    cost = CostModel(spec=spec, precision_itemsize=precision.real_itemsize)
+    times = cost.pipeline_times(pipeline)
+
+    spread_time = sum(
+        cost.kernel_time(k)
+        for k in pipeline.exec_kernels()
+        if k.name.startswith(("spread", "interp"))
+    )
+    spread_fraction = spread_time / times["exec"] if times["exec"] > 0 else 0.0
+
+    ram_mb = alloc_bytes / (1024.0 * 1024.0) + CUDA_CONTEXT_MB
+
+    return ModelResult(
+        times=times,
+        n_points=stats.n_points,
+        ram_mb=ram_mb,
+        spread_fraction=spread_fraction,
+        error_estimate=kernel.estimated_error(),
+        meta={
+            "method": method.value,
+            "kernel_width": kernel.width,
+            "fine_shape": fine_shape,
+            "bin_shape": bin_shape,
+            "precision": precision.value,
+            "nufft_type": nufft_type,
+            "distribution": distribution,
+        },
+    )

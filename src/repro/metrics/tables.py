@@ -1,0 +1,84 @@
+"""Plain-text table emission shared by the benchmark harnesses.
+
+Every benchmark regenerates its figure/table as an ASCII table printed to
+stdout (and optionally written to ``results/``), with the same rows/series as
+the paper so the shapes can be compared side by side.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["format_table", "speedup", "write_results"]
+
+
+def _format_cell(value, floatfmt):
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(headers, rows, title=None, floatfmt=".3g"):
+    """Format a list-of-rows table with aligned columns.
+
+    Parameters
+    ----------
+    headers : sequence of str
+    rows : sequence of sequences
+        Each row must have the same length as ``headers``.
+    title : str, optional
+        Printed above the table with an underline.
+    floatfmt : str, optional
+        Format spec applied to float cells.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        str_rows.append([_format_cell(v, floatfmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def speedup(baseline_time, candidate_time):
+    """``baseline / candidate`` -- how many times faster the candidate is."""
+    if candidate_time <= 0:
+        raise ValueError("candidate_time must be positive")
+    if baseline_time < 0:
+        raise ValueError("baseline_time must be nonnegative")
+    return baseline_time / candidate_time
+
+
+def write_results(name, text, directory=None):
+    """Write a benchmark's table text under ``results/`` (created on demand).
+
+    Returns the path written, or None when writing is disabled by setting the
+    environment variable ``REPRO_NO_RESULT_FILES``.
+    """
+    if os.environ.get("REPRO_NO_RESULT_FILES"):
+        return None
+    directory = directory or os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))), "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return path

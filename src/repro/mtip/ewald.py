@@ -1,0 +1,108 @@
+"""Ewald-sphere slice geometry and random orientations.
+
+Each far-field diffraction image measures the molecule's 3D Fourier transform
+on a spherical cap (an Ewald-sphere slice) passing through the origin, rotated
+by the molecule's unknown orientation (paper Fig. 8).  This module builds the
+detector's reciprocal-space sample points, applies the slice curvature, and
+rotates the resulting point cloud by arbitrary rotation matrices.
+
+All reciprocal coordinates are expressed directly in the NUFFT's periodic
+convention: frequencies live in ``[-pi, pi)^3`` and integer modes correspond
+to the uniform reconstruction grid, so the slice points can be fed straight to
+:meth:`repro.core.plan.Plan.set_pts`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_rotations", "rotation_from_quaternion", "detector_qgrid",
+           "ewald_slice_points", "rotate_points"]
+
+
+def rotation_from_quaternion(q):
+    """3x3 rotation matrix from a unit quaternion ``(w, x, y, z)``."""
+    q = np.asarray(q, dtype=np.float64)
+    if q.shape != (4,):
+        raise ValueError(f"quaternion must have shape (4,), got {q.shape}")
+    norm = np.linalg.norm(q)
+    if norm == 0:
+        raise ValueError("zero quaternion")
+    w, x, y, z = q / norm
+    return np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - z * w), 2 * (x * z + y * w)],
+        [2 * (x * y + z * w), 1 - 2 * (x * x + z * z), 2 * (y * z - x * w)],
+        [2 * (x * z - y * w), 2 * (y * z + x * w), 1 - 2 * (x * x + y * y)],
+    ])
+
+
+def random_rotations(n, rng=None):
+    """``n`` uniformly distributed rotation matrices (random unit quaternions)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(rng)
+    quats = rng.standard_normal((n, 4))
+    return np.stack([rotation_from_quaternion(q) for q in quats])
+
+
+def detector_qgrid(n_pix, q_max=0.8 * np.pi, curvature=0.25):
+    """Reciprocal-space sample points of one detector image (unrotated).
+
+    Parameters
+    ----------
+    n_pix : int
+        Detector is ``n_pix x n_pix`` pixels.
+    q_max : float
+        Largest in-plane frequency reached at the detector edge, in the
+        NUFFT's ``[-pi, pi)`` units.  Kept below ``pi`` so the curved slice
+        stays inside the periodic box.
+    curvature : float
+        Ewald-sphere curvature parameter: the out-of-plane component is
+        ``qz = -curvature * (qx^2 + qy^2) / (2 q_max)`` (the small-angle
+        expansion of ``sqrt(k0^2 - q_perp^2) - k0`` with ``k0 = q_max /
+        curvature``).  ``curvature = 0`` gives flat central slices.
+
+    Returns
+    -------
+    ndarray, shape (n_pix * n_pix, 3)
+        Points ``(qx, qy, qz)`` of the unrotated slice.
+    """
+    if n_pix < 2:
+        raise ValueError("n_pix must be >= 2")
+    if not (0.0 < q_max < np.pi):
+        raise ValueError(f"q_max must be in (0, pi), got {q_max}")
+    if curvature < 0:
+        raise ValueError("curvature must be nonnegative")
+    q1 = np.linspace(-q_max, q_max, n_pix)
+    qx, qy = np.meshgrid(q1, q1, indexing="ij")
+    q_perp2 = qx ** 2 + qy ** 2
+    qz = -curvature * q_perp2 / (2.0 * q_max)
+    return np.column_stack([qx.ravel(), qy.ravel(), qz.ravel()])
+
+
+def rotate_points(points, rotation):
+    """Rotate an ``(M, 3)`` point cloud by a 3x3 rotation matrix."""
+    points = np.asarray(points, dtype=np.float64)
+    rotation = np.asarray(rotation, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must have shape (M, 3), got {points.shape}")
+    if rotation.shape != (3, 3):
+        raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+    return points @ rotation.T
+
+
+def ewald_slice_points(rotations, n_pix, q_max=0.8 * np.pi, curvature=0.25):
+    """Slice points of a whole image batch, concatenated for one NUFFT call.
+
+    Returns
+    -------
+    ndarray, shape (n_images * n_pix^2, 3)
+        All rotated slice points; image ``i`` occupies the contiguous block
+        ``[i * n_pix^2, (i+1) * n_pix^2)``, which is how the slicing and
+        merging steps index back into per-image data.
+    """
+    rotations = np.asarray(rotations, dtype=np.float64)
+    if rotations.ndim != 3 or rotations.shape[1:] != (3, 3):
+        raise ValueError(f"rotations must have shape (n, 3, 3), got {rotations.shape}")
+    base = detector_qgrid(n_pix, q_max=q_max, curvature=curvature)
+    return np.concatenate([rotate_points(base, rot) for rot in rotations], axis=0)

@@ -1,0 +1,25 @@
+"""Workload generators: nonuniform point distributions and problem sweeps."""
+
+from .distributions import (
+    cluster_points,
+    make_distribution,
+    mixture_points,
+    problem_density,
+    rand_points,
+    strengths,
+)
+from .problems import ProblemSpec, fig2_problems, fig4_problems, fig6_problems, table1_problems
+
+__all__ = [
+    "rand_points",
+    "cluster_points",
+    "mixture_points",
+    "make_distribution",
+    "strengths",
+    "problem_density",
+    "ProblemSpec",
+    "fig2_problems",
+    "fig4_problems",
+    "fig6_problems",
+    "table1_problems",
+]

@@ -1,0 +1,128 @@
+"""Nonuniform point distributions used in the paper's evaluation (Sec. IV).
+
+Two extreme cases drive every benchmark:
+
+* ``"rand"``    -- i.i.d. uniform over the whole periodic box ``[-pi, pi)^d``;
+* ``"cluster"`` -- i.i.d. uniform inside the tiny box
+  ``[0, 8 h_1] x ... x [0, 8 h_d]`` where ``h_i = 2 pi / n_i`` are the *fine*
+  grid spacings, i.e. all M points crammed into an 8-cell-per-side corner.
+  This is the adversarial distribution for input-driven spreading (atomic
+  collisions) and is what makes CUNFFT up to 200x slower.
+
+``mixture`` adds a less extreme distribution (a blend of uniform background
+and Gaussian clumps) mentioned in the paper's "less extreme nonuniform point
+distributions" remark, used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rand_points",
+    "cluster_points",
+    "mixture_points",
+    "make_distribution",
+    "strengths",
+    "problem_density",
+]
+
+TWO_PI = 2.0 * np.pi
+
+
+def _check_m(n_points):
+    n_points = int(n_points)
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    return n_points
+
+
+def rand_points(n_points, ndim, rng=None):
+    """The paper's "rand" distribution: uniform over ``[-pi, pi)^d``.
+
+    Returns a list of ``ndim`` arrays of shape ``(n_points,)``.
+    """
+    n_points = _check_m(n_points)
+    rng = np.random.default_rng(rng)
+    return [rng.uniform(-np.pi, np.pi, n_points) for _ in range(ndim)]
+
+
+def cluster_points(n_points, fine_shape, rng=None, cells=8):
+    """The paper's "cluster" distribution: uniform in ``[0, cells * h_i]`` per dim.
+
+    Parameters
+    ----------
+    n_points : int
+    fine_shape : tuple of int
+        Fine (upsampled) grid sizes ``n_i``; the box edge in dimension ``i``
+        is ``cells * 2 pi / n_i``.
+    cells : int
+        Box size in fine-grid cells (8 in the paper).
+    """
+    n_points = _check_m(n_points)
+    rng = np.random.default_rng(rng)
+    out = []
+    for n_i in fine_shape:
+        h = TWO_PI / int(n_i)
+        out.append(rng.uniform(0.0, cells * h, n_points))
+    return out
+
+
+def mixture_points(n_points, ndim, rng=None, cluster_fraction=0.5, n_clumps=16,
+                   clump_sigma=0.05):
+    """A milder nonuniform distribution: uniform background + Gaussian clumps.
+
+    ``cluster_fraction`` of the points are drawn from ``n_clumps`` isotropic
+    Gaussian clumps with standard deviation ``clump_sigma`` (radians), the
+    rest uniformly; everything is folded back into ``[-pi, pi)``.
+    """
+    n_points = _check_m(n_points)
+    if not (0.0 <= cluster_fraction <= 1.0):
+        raise ValueError("cluster_fraction must be in [0, 1]")
+    rng = np.random.default_rng(rng)
+    n_clustered = int(round(cluster_fraction * n_points))
+    n_uniform = n_points - n_clustered
+
+    centers = rng.uniform(-np.pi, np.pi, size=(n_clumps, ndim))
+    assignment = rng.integers(0, n_clumps, size=n_clustered)
+    coords = []
+    for d in range(ndim):
+        clustered = centers[assignment, d] + clump_sigma * rng.standard_normal(n_clustered)
+        uniform = rng.uniform(-np.pi, np.pi, n_uniform)
+        x = np.concatenate([clustered, uniform])
+        # fold into [-pi, pi)
+        x = np.mod(x + np.pi, TWO_PI) - np.pi
+        coords.append(x)
+    # Shuffle jointly so the "user order" is not sorted by sub-population.
+    perm = rng.permutation(n_points)
+    return [c[perm] for c in coords]
+
+
+def make_distribution(name, n_points, ndim, fine_shape=None, rng=None, **kwargs):
+    """Dispatch by distribution name: ``"rand"``, ``"cluster"`` or ``"mixture"``."""
+    key = str(name).lower()
+    if key == "rand":
+        return rand_points(n_points, ndim, rng)
+    if key == "cluster":
+        if fine_shape is None:
+            raise ValueError("the cluster distribution needs the fine grid shape")
+        return cluster_points(n_points, fine_shape, rng, **kwargs)
+    if key == "mixture":
+        return mixture_points(n_points, ndim, rng, **kwargs)
+    raise ValueError(f"unknown distribution {name!r}; expected rand, cluster or mixture")
+
+
+def strengths(n_points, rng=None, dtype=np.complex128):
+    """Random complex strengths ``c_j`` with unit-variance real/imag parts."""
+    n_points = _check_m(n_points)
+    rng = np.random.default_rng(rng)
+    c = rng.standard_normal(n_points) + 1j * rng.standard_normal(n_points)
+    return c.astype(dtype)
+
+
+def problem_density(n_points, fine_shape):
+    """Problem density ``rho = M / prod(n_i)`` (paper Eq. (16))."""
+    denom = float(np.prod([int(n) for n in fine_shape]))
+    if denom <= 0:
+        raise ValueError(f"invalid fine_shape {fine_shape!r}")
+    return float(n_points) / denom

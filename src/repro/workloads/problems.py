@@ -1,0 +1,278 @@
+"""Problem sweeps for the paper's figures and tables.
+
+A :class:`ProblemSpec` pins down one NUFFT problem instance: transform type,
+mode counts, number of nonuniform points, tolerance, distribution and
+precision.  The ``fig*_problems`` / ``table*_problems`` helpers enumerate the
+sweeps of the corresponding figure/table at *paper scale*; every helper takes
+a ``scale`` argument in ``(0, 1]`` that shrinks mode counts and point counts
+proportionally (keeping the density ``rho`` fixed) so the same sweep can be
+exercised quickly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "ProblemSpec",
+    "fig2_problems",
+    "fig3_problems",
+    "fig4_problems",
+    "fig5_problems",
+    "fig6_problems",
+    "fig7_problems",
+    "table1_problems",
+    "table2_problems",
+]
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One NUFFT problem instance of a benchmark sweep.
+
+    Attributes
+    ----------
+    label : str
+        Row/series label used in the emitted tables.
+    nufft_type : int
+        1 or 2.
+    n_modes : tuple of int
+        Mode counts (N1, ..., Nd).
+    n_points : int
+        Number of nonuniform points M.
+    eps : float
+        Requested tolerance.
+    distribution : str
+        ``"rand"``, ``"cluster"`` or ``"mixture"``.
+    precision : str
+        ``"single"`` or ``"double"``.
+    extra : dict
+        Free-form parameters (e.g. fine-grid size for spread-only sweeps).
+    """
+
+    label: str
+    nufft_type: int
+    n_modes: tuple
+    n_points: int
+    eps: float
+    distribution: str = "rand"
+    precision: str = "single"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ndim(self):
+        return len(self.n_modes)
+
+    def scaled(self, scale):
+        """Shrink the problem while keeping density and dimensionality fixed.
+
+        Mode counts scale by ``scale`` (floored at 8 per dimension) and the
+        point count by ``scale**ndim`` (floored at 256), which preserves
+        ``rho = M / prod(sigma N_i)``.
+        """
+        if not (0.0 < scale <= 1.0):
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if scale == 1.0:
+            return self
+        n_modes = tuple(max(8, int(round(n * scale))) for n in self.n_modes)
+        n_points = max(256, int(round(self.n_points * scale ** self.ndim)))
+        return replace(self, n_modes=n_modes, n_points=n_points)
+
+
+def _density_points(fine_shape, rho):
+    return int(round(rho * float(np.prod(fine_shape))))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2 / Fig. 3: spreading and interpolation method sweeps
+# --------------------------------------------------------------------------- #
+def fig2_problems(scale=1.0):
+    """Spread-method sweep of Fig. 2: rho=1, eps=1e-5, single precision.
+
+    The x-axis of Fig. 2 is the *fine* grid size ``n1=n2(=n3)``; spread-only
+    problems therefore store the fine grid in ``extra["fine_shape"]`` and set
+    ``n_modes = fine/2`` (sigma = 2).
+    """
+    specs = []
+    for ndim, exponents in ((2, range(7, 13)), (3, range(5, 10))):
+        for dist in ("rand", "cluster"):
+            for p in exponents:
+                n_fine = 2 ** p
+                fine_shape = (n_fine,) * ndim
+                m = _density_points(fine_shape, 1.0)
+                specs.append(
+                    ProblemSpec(
+                        label=f"{ndim}D {dist} n={n_fine}",
+                        nufft_type=1,
+                        n_modes=tuple(n_fine // 2 for _ in range(ndim)),
+                        n_points=m,
+                        eps=1e-5,
+                        distribution=dist,
+                        precision="single",
+                        extra={"fine_shape": fine_shape, "spread_only": True},
+                    ).scaled(scale)
+                )
+    return specs
+
+
+def fig3_problems(scale=1.0):
+    """Interpolation-method sweep of Fig. 3: "rand" only, eps=1e-5."""
+    specs = []
+    for ndim, exponents in ((2, range(7, 13)), (3, range(5, 10))):
+        for p in exponents:
+            n_fine = 2 ** p
+            fine_shape = (n_fine,) * ndim
+            m = _density_points(fine_shape, 1.0)
+            specs.append(
+                ProblemSpec(
+                    label=f"{ndim}D rand n={n_fine}",
+                    nufft_type=2,
+                    n_modes=tuple(n_fine // 2 for _ in range(ndim)),
+                    n_points=m,
+                    eps=1e-5,
+                    distribution="rand",
+                    precision="single",
+                    extra={"fine_shape": fine_shape, "spread_only": True},
+                ).scaled(scale)
+            )
+    return specs
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 4/5: accuracy sweeps, single precision
+# --------------------------------------------------------------------------- #
+_FIG4_EPS_2D = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+_FIG4_EPS_3D = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+
+
+def fig4_problems(scale=1.0):
+    """Library-comparison accuracy sweep (Figs. 4 and 5), single precision.
+
+    2D: N = 1000^2, M = 1e7.  3D: N = 100^3, M = 1e7.  "rand" distribution.
+    """
+    specs = []
+    for nufft_type in (1, 2):
+        for ndim, n_per_dim, eps_list in ((2, 1000, _FIG4_EPS_2D), (3, 100, _FIG4_EPS_3D)):
+            for eps in eps_list:
+                specs.append(
+                    ProblemSpec(
+                        label=f"{ndim}D type{nufft_type} eps={eps:g}",
+                        nufft_type=nufft_type,
+                        n_modes=(n_per_dim,) * ndim,
+                        n_points=10_000_000,
+                        eps=eps,
+                        distribution="rand",
+                        precision="single",
+                    ).scaled(scale)
+                )
+    return specs
+
+
+def fig5_problems(scale=1.0):
+    """Fig. 5 uses the same problems as Fig. 4 (different timing view)."""
+    return fig4_problems(scale)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6: distribution sensitivity at fixed eps=1e-2
+# --------------------------------------------------------------------------- #
+def fig6_problems(scale=1.0):
+    """2D sweep over N = 2^6..2^11 at rho = 1, eps = 1e-2, rand vs cluster."""
+    specs = []
+    for nufft_type in (1, 2):
+        for dist in ("rand", "cluster"):
+            for p in range(6, 12):
+                n = 2 ** p
+                fine = (2 * n, 2 * n)
+                specs.append(
+                    ProblemSpec(
+                        label=f"type{nufft_type} {dist} N={n}",
+                        nufft_type=nufft_type,
+                        n_modes=(n, n),
+                        n_points=_density_points(fine, 1.0),
+                        eps=1e-2,
+                        distribution=dist,
+                        precision="single",
+                    ).scaled(scale)
+                )
+    return specs
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7: double-precision accuracy sweeps
+# --------------------------------------------------------------------------- #
+_FIG7_EPS = (1e-1, 1e-3, 1e-5, 1e-7, 1e-9, 1e-11, 1e-13)
+
+
+def fig7_problems(scale=1.0):
+    """Double-precision accuracy sweep (Fig. 7): same sizes as Fig. 4."""
+    specs = []
+    for nufft_type in (1, 2):
+        for ndim, n_per_dim in ((2, 1000), (3, 100)):
+            for eps in _FIG7_EPS:
+                specs.append(
+                    ProblemSpec(
+                        label=f"{ndim}D type{nufft_type} eps={eps:g}",
+                        nufft_type=nufft_type,
+                        n_modes=(n_per_dim,) * ndim,
+                        n_points=10_000_000,
+                        eps=eps,
+                        distribution="rand",
+                        precision="double",
+                    ).scaled(scale)
+                )
+    return specs
+
+
+# --------------------------------------------------------------------------- #
+# Table I and Table II
+# --------------------------------------------------------------------------- #
+def table1_problems(scale=1.0):
+    """Table I: 3D type-1, "rand", N=32^3 / 256^3, eps = 1e-2 / 1e-5."""
+    specs = []
+    for eps in (1e-2, 1e-5):
+        for n, m in ((32, 262_144), (256, 134_217_728)):
+            specs.append(
+                ProblemSpec(
+                    label=f"N={n}^3 eps={eps:g}",
+                    nufft_type=1,
+                    n_modes=(n, n, n),
+                    n_points=m,
+                    eps=eps,
+                    distribution="rand",
+                    precision="single",
+                ).scaled(scale)
+            )
+    return specs
+
+
+def table2_problems(scale=1.0):
+    """Table II: M-TIP per-rank problems at eps = 1e-12 (double precision).
+
+    Slicing = 3D type 2 with N=41^3, M=1.02e6 (rho=1.86); merging = 3D type 1
+    with N=81^3, M=1.64e7 (rho=3.85).
+    """
+    return [
+        ProblemSpec(
+            label="slicing (type 2)",
+            nufft_type=2,
+            n_modes=(41, 41, 41),
+            n_points=1_020_000,
+            eps=1e-12,
+            distribution="rand",
+            precision="double",
+            extra={"mtip_step": "slicing"},
+        ).scaled(scale),
+        ProblemSpec(
+            label="merging (type 1)",
+            nufft_type=1,
+            n_modes=(81, 81, 81),
+            n_points=16_400_000,
+            eps=1e-12,
+            distribution="rand",
+            precision="double",
+            extra={"mtip_step": "merging"},
+        ).scaled(scale),
+    ]

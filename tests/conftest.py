@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(1234)
+
+
+def make_points_2d(rng, m=1500):
+    x = rng.uniform(-np.pi, np.pi, m)
+    y = rng.uniform(-np.pi, np.pi, m)
+    c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    return x, y, c
+
+
+def make_points_3d(rng, m=1200):
+    x = rng.uniform(-np.pi, np.pi, m)
+    y = rng.uniform(-np.pi, np.pi, m)
+    z = rng.uniform(-np.pi, np.pi, m)
+    c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    return x, y, z, c

@@ -1,0 +1,170 @@
+"""End-to-end accuracy tests: transforms vs the direct O(NM) sums.
+
+The requested tolerance should be met within a small safety factor (the paper
+states Eq. (6) "typically gives relative l2 errors close to eps").
+"""
+
+import numpy as np
+import pytest
+
+from repro import Plan, nudft_type1, nudft_type2, relative_l2_error
+from tests.conftest import make_points_2d, make_points_3d
+
+#: Delivered error is allowed to exceed the request by this factor.
+SAFETY = 12.0
+
+
+class TestType1Accuracy2D:
+    @pytest.mark.parametrize("method", ["GM", "GM-sort", "SM"])
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4, 1e-6, 1e-9])
+    def test_meets_tolerance_double(self, rng, method, eps):
+        x, y, c = make_points_2d(rng)
+        n_modes = (36, 28)
+        exact = nudft_type1([x, y], c, n_modes)
+        with Plan(1, n_modes, eps=eps, method=method, precision="double") as plan:
+            plan.set_pts(x, y)
+            approx = plan.execute(c)
+        assert relative_l2_error(approx, exact) < SAFETY * eps
+
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4])
+    def test_meets_tolerance_single(self, rng, eps):
+        x, y, c = make_points_2d(rng)
+        n_modes = (32, 32)
+        exact = nudft_type1([x, y], c, n_modes)
+        with Plan(1, n_modes, eps=eps, precision="single") as plan:
+            plan.set_pts(x, y)
+            approx = plan.execute(c.astype(np.complex64))
+        assert approx.dtype == np.complex64
+        assert relative_l2_error(approx, exact) < SAFETY * eps + 1e-5
+
+    def test_clustered_points_same_accuracy(self, rng):
+        m = 1500
+        n_modes = (32, 32)
+        h = 2 * np.pi / 64
+        x = rng.uniform(0, 8 * h, m)
+        y = rng.uniform(0, 8 * h, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        exact = nudft_type1([x, y], c, n_modes)
+        for method in ("GM", "SM"):
+            with Plan(1, n_modes, eps=1e-6, method=method, precision="double") as plan:
+                plan.set_pts(x, y)
+                approx = plan.execute(c)
+            assert relative_l2_error(approx, exact) < SAFETY * 1e-6
+
+    def test_rectangular_modes(self, rng):
+        x, y, c = make_points_2d(rng, m=800)
+        n_modes = (17, 43)  # odd and unequal
+        exact = nudft_type1([x, y], c, n_modes)
+        with Plan(1, n_modes, eps=1e-7, precision="double") as plan:
+            plan.set_pts(x, y)
+            approx = plan.execute(c)
+        assert relative_l2_error(approx, exact) < SAFETY * 1e-7
+
+
+class TestType2Accuracy2D:
+    @pytest.mark.parametrize("method", ["GM", "GM-sort"])
+    @pytest.mark.parametrize("eps", [1e-3, 1e-6, 1e-10])
+    def test_meets_tolerance(self, rng, method, eps):
+        x, y, _ = make_points_2d(rng)
+        n_modes = (30, 26)
+        f = rng.standard_normal(n_modes) + 1j * rng.standard_normal(n_modes)
+        exact = nudft_type2([x, y], f)
+        with Plan(2, n_modes, eps=eps, method=method, precision="double") as plan:
+            plan.set_pts(x, y)
+            approx = plan.execute(f)
+        assert relative_l2_error(approx, exact) < SAFETY * eps
+
+
+class TestAccuracy3D:
+    @pytest.mark.parametrize("method", ["GM", "GM-sort", "SM"])
+    def test_type1(self, rng, method):
+        x, y, z, c = make_points_3d(rng, m=1000)
+        n_modes = (14, 16, 12)
+        exact = nudft_type1([x, y, z], c, n_modes)
+        with Plan(1, n_modes, eps=1e-6, method=method, precision="double") as plan:
+            plan.set_pts(x, y, z)
+            approx = plan.execute(c)
+        assert relative_l2_error(approx, exact) < SAFETY * 1e-6
+
+    def test_type2(self, rng):
+        x, y, z, _ = make_points_3d(rng, m=1000)
+        n_modes = (12, 14, 10)
+        f = rng.standard_normal(n_modes) + 1j * rng.standard_normal(n_modes)
+        exact = nudft_type2([x, y, z], f)
+        with Plan(2, n_modes, eps=1e-8, precision="double") as plan:
+            plan.set_pts(x, y, z)
+            approx = plan.execute(f)
+        assert relative_l2_error(approx, exact) < SAFETY * 1e-8
+
+    def test_error_decreases_with_tolerance(self, rng):
+        x, y, z, c = make_points_3d(rng, m=800)
+        n_modes = (12, 12, 12)
+        exact = nudft_type1([x, y, z], c, n_modes)
+        errors = []
+        for eps in (1e-2, 1e-4, 1e-6, 1e-8):
+            with Plan(1, n_modes, eps=eps, precision="double") as plan:
+                plan.set_pts(x, y, z)
+                errors.append(relative_l2_error(plan.execute(c), exact))
+        assert all(e2 < e1 for e1, e2 in zip(errors, errors[1:]))
+
+
+class TestAdjointness:
+    """Type 1 and type 2 with the same points/modes are adjoint maps."""
+
+    def test_2d(self, rng):
+        x, y, c = make_points_2d(rng, m=900)
+        n_modes = (24, 20)
+        f = rng.standard_normal(n_modes) + 1j * rng.standard_normal(n_modes)
+        with Plan(1, n_modes, eps=1e-10, precision="double") as p1:
+            p1.set_pts(x, y)
+            t1c = p1.execute(c)
+        with Plan(2, n_modes, eps=1e-10, precision="double") as p2:
+            p2.set_pts(x, y)
+            t2f = p2.execute(f)
+        # <T1 c, f> = <c, T2 f>  (T2 = T1^H with this sign convention)
+        lhs = np.vdot(f, t1c)
+        rhs = np.vdot(t2f, c)
+        assert lhs == pytest.approx(rhs, rel=1e-8)
+
+    def test_3d(self, rng):
+        x, y, z, c = make_points_3d(rng, m=700)
+        n_modes = (10, 12, 14)
+        f = rng.standard_normal(n_modes) + 1j * rng.standard_normal(n_modes)
+        with Plan(1, n_modes, eps=1e-9, precision="double") as p1:
+            p1.set_pts(x, y, z)
+            t1c = p1.execute(c)
+        with Plan(2, n_modes, eps=1e-9, precision="double") as p2:
+            p2.set_pts(x, y, z)
+            t2f = p2.execute(f)
+        assert np.vdot(f, t1c) == pytest.approx(np.vdot(t2f, c), rel=1e-7)
+
+
+class TestLinearityAndInvariance:
+    def test_type1_linearity(self, rng):
+        x, y, c = make_points_2d(rng, m=600)
+        d = rng.standard_normal(600) + 1j * rng.standard_normal(600)
+        n_modes = (20, 20)
+        with Plan(1, n_modes, eps=1e-9, precision="double") as plan:
+            plan.set_pts(x, y)
+            combined = plan.execute(2.5 * c - 1j * d)
+            separate = 2.5 * plan.execute(c) - 1j * plan.execute(d)
+        np.testing.assert_allclose(combined, separate, rtol=1e-9, atol=1e-9)
+
+    def test_periodic_shift_invariance(self, rng):
+        # shifting points by 2*pi does not change the transform
+        x, y, c = make_points_2d(rng, m=500)
+        n_modes = (22, 22)
+        with Plan(1, n_modes, eps=1e-9, precision="double") as plan:
+            plan.set_pts(x, y)
+            a = plan.execute(c)
+        with Plan(1, n_modes, eps=1e-9, precision="double") as plan:
+            plan.set_pts(x + 2 * np.pi, y - 2 * np.pi)
+            b = plan.execute(c)
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
+
+    def test_zero_strengths_give_zero_modes(self, rng):
+        x, y, _ = make_points_2d(rng, m=200)
+        with Plan(1, (16, 16), eps=1e-6, precision="double") as plan:
+            plan.set_pts(x, y)
+            out = plan.execute(np.zeros(200, dtype=np.complex128))
+        assert np.all(out == 0)

@@ -1,0 +1,270 @@
+"""Tests of the multi-GPU cluster substrate and the M-TIP application."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CORI_GPU_NODE,
+    SUMMIT_NODE,
+    CommCostModel,
+    Node,
+    SimComm,
+    run_weak_scaling,
+)
+from repro.core.errors import relative_l2_error
+from repro.mtip import (
+    MTIPConfig,
+    MTIPReconstruction,
+    detector_qgrid,
+    ewald_slice_points,
+    match_orientations,
+    merge_slices,
+    phase_retrieval,
+    random_rotations,
+    rotate_points,
+    support_mask,
+    synthetic_density,
+)
+from repro.mtip.merging import MergingOperator
+from repro.mtip.phasing import centered_fft, centered_ifft, fourier_error
+from repro.mtip.slicing import SlicingOperator
+
+
+# --------------------------------------------------------------------------- #
+# simulated MPI
+# --------------------------------------------------------------------------- #
+class TestSimComm:
+    def test_scatter_gather_roundtrip(self):
+        comms = SimComm.create(4)
+        payload = [np.arange(3) + 10 * r for r in range(4)]
+        received = [comms[0].scatter(payload, root=0)]
+        received += [comms[r].scatter(None) for r in range(1, 4)]
+        for r in range(1, 4):
+            comms[r].gather(received[r] * 2)
+        gathered = comms[0].gather(received[0] * 2)
+        for r in range(4):
+            np.testing.assert_array_equal(gathered[r], payload[r] * 2)
+
+    def test_reduce_sums(self):
+        comms = SimComm.create(3)
+        for r in range(1, 3):
+            comms[r].reduce(np.full(4, float(r)))
+        total = comms[0].reduce(np.zeros(4))
+        np.testing.assert_allclose(total, np.full(4, 3.0))
+
+    def test_bcast(self):
+        comms = SimComm.create(3)
+        comms[0].bcast({"iteration": 7})
+        assert comms[2].bcast(None)["iteration"] == 7
+
+    def test_scatter_validation_and_rank_info(self):
+        comms = SimComm.create(2)
+        assert comms[1].Get_rank() == 1
+        assert comms[1].Get_size() == 2
+        with pytest.raises(ValueError):
+            comms[0].scatter([1, 2, 3], root=0)
+        with pytest.raises(ValueError):
+            SimComm.create(0)
+
+    def test_communication_cost_accumulates(self):
+        comms = SimComm.create(4)
+        before = comms[0].comm_seconds
+        comms[0].bcast(np.zeros(1_000_000))
+        assert comms[0].comm_seconds > before
+        model = CommCostModel()
+        assert model.collective_time(1e9, 8) > model.collective_time(1e3, 8)
+
+
+class TestNode:
+    def test_round_robin_assignment(self):
+        node = Node(spec=CORI_GPU_NODE)
+        assert node.n_gpus == 8
+        assert node.device_for_rank(0).device_id == 0
+        assert node.device_for_rank(9).device_id == 1
+        devices = node.assign_ranks(10)
+        assert devices[0].active_contexts == 2  # ranks 0 and 8 share GPU 0
+        node.release_all()
+        assert all(d.active_contexts == 0 for d in node.devices)
+
+    def test_contention_flat_then_rising(self):
+        node = Node(spec=SUMMIT_NODE)
+        assert node.contention_for_ranks(1) == 1.0
+        assert node.contention_for_ranks(6) == 1.0
+        assert node.contention_for_ranks(7) > 2.0
+        with pytest.raises(ValueError):
+            node.contention_for_ranks(0)
+
+
+class TestWeakScaling:
+    @pytest.mark.parametrize("node_spec", [CORI_GPU_NODE, SUMMIT_NODE])
+    def test_fig9_shape(self, node_spec):
+        result = run_weak_scaling(
+            2, (41, 41, 41), 200_000, 1e-6, node_spec=node_spec,
+            max_ranks=2 * node_spec.n_gpus, precision="double", max_sample=1 << 16,
+        )
+        eff = result.efficiency()
+        # near-ideal up to one rank per GPU...
+        assert all(e > 0.8 for e in eff[: node_spec.n_gpus])
+        # ...then rapid deterioration
+        assert eff[node_spec.n_gpus] < 0.7
+        rows = result.rows()
+        assert len(rows) == 2 * node_spec.n_gpus
+        assert rows[0][0] == 1
+
+
+# --------------------------------------------------------------------------- #
+# M-TIP building blocks
+# --------------------------------------------------------------------------- #
+class TestDensityAndGeometry:
+    def test_synthetic_density_properties(self):
+        dens, mask = synthetic_density(20, rng=0)
+        assert dens.shape == (20, 20, 20)
+        assert dens.min() >= 0 and dens.max() == pytest.approx(1.0)
+        assert np.all(dens[~mask] == 0)
+        assert mask.sum() < mask.size
+        with pytest.raises(ValueError):
+            synthetic_density(2)
+        with pytest.raises(ValueError):
+            support_mask(16, radius=1.5)
+
+    def test_rotations_are_orthonormal(self):
+        rots = random_rotations(20, rng=0)
+        for r in rots:
+            np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_detector_grid_and_slices(self):
+        pts = detector_qgrid(8, q_max=0.5 * np.pi, curvature=0.3)
+        assert pts.shape == (64, 3)
+        assert np.all(np.abs(pts[:, :2]) <= 0.5 * np.pi + 1e-12)
+        assert np.all(pts[:, 2] <= 0)  # Ewald curvature bends one way
+        rots = random_rotations(3, rng=1)
+        allpts = ewald_slice_points(rots, 8, q_max=0.5 * np.pi, curvature=0.3)
+        assert allpts.shape == (3 * 64, 3)
+        # rotation preserves radii
+        np.testing.assert_allclose(
+            np.linalg.norm(allpts[:64], axis=1), np.linalg.norm(pts, axis=1), rtol=1e-12
+        )
+        with pytest.raises(ValueError):
+            detector_qgrid(8, q_max=4.0)
+        with pytest.raises(ValueError):
+            rotate_points(pts, np.eye(4))
+
+
+class TestSlicingMergingPhasing:
+    def _setup(self, n=16, n_pix=16, n_img=70):
+        dens, mask = synthetic_density(n, rng=0)
+        modes = centered_fft(dens)
+        rots = random_rotations(n_img, rng=1)
+        points = ewald_slice_points(rots, n_pix)
+        return dens, mask, modes, points
+
+    def test_slicing_matches_direct_physics_transform(self):
+        dens, _, modes, points = self._setup(n=12, n_pix=10, n_img=3)
+        slicer = SlicingOperator((12,) * 3, points, eps=1e-10)
+        vals = slicer(modes)
+        m = np.arange(-6, 6)
+        mx, my, mz = np.meshgrid(m, m, m, indexing="ij")
+        direct = np.array([
+            np.sum(dens * np.exp(-1j * (mx * q[0] + my * q[1] + mz * q[2])))
+            for q in points[:30]
+        ])
+        assert relative_l2_error(vals[:30], direct) < 1e-8
+        slicer.destroy()
+
+    def test_slicing_consistent_on_uniform_grid_points(self):
+        # at q = 2*pi*k/N the continuous transform equals the DFT coefficient
+        n = 12
+        dens, _, modes, _ = self._setup(n=n, n_img=1)
+        ks = np.array([[1, -2, 3], [0, 0, 0], [-5, 4, -1]], dtype=float)
+        q = 2 * np.pi * ks / n
+        slicer = SlicingOperator((n,) * 3, q, eps=1e-10)
+        vals = slicer(modes)
+        expected = np.array([modes[int(k[0]) + n // 2, int(k[1]) + n // 2, int(k[2]) + n // 2]
+                             for k in ks])
+        np.testing.assert_allclose(vals, expected, rtol=1e-7, atol=1e-7)
+        slicer.destroy()
+
+    def test_merging_recovers_low_frequencies(self):
+        dens, mask, modes, points = self._setup()
+        slicer = SlicingOperator((16,) * 3, points, eps=1e-8)
+        vals = slicer(modes)
+        slicer.destroy()
+        merged = merge_slices(vals, points, (16,) * 3, eps=1e-8)
+        # low-|k| region is densely covered by the slices and must be accurate
+        sl = slice(4, 12)
+        err_central = relative_l2_error(merged[sl, sl, sl], modes[sl, sl, sl])
+        err_overall = relative_l2_error(merged, modes)
+        assert err_central < 0.75
+        # the sparsely-covered corners dominate the overall error
+        assert err_central < err_overall < 1.2
+
+    def test_merging_sampling_density_nonnegative(self):
+        _, _, _, points = self._setup(n_img=10)
+        op = MergingOperator((16,) * 3, points, eps=1e-6)
+        density = op.sampling_density()
+        assert np.all(np.abs(density) >= 0)
+        with pytest.raises(ValueError):
+            op(np.zeros(5, dtype=complex))
+        op.destroy()
+
+    def test_orientation_matching_identifies_true_orientation(self):
+        dens, _, modes, _ = self._setup(n=14, n_img=1)
+        rots = random_rotations(10, rng=5)
+        points = ewald_slice_points(rots, 12)
+        slicer = SlicingOperator((14,) * 3, points, eps=1e-8)
+        intensities = np.abs(slicer(modes).reshape(10, -1)) ** 2
+        slicer.destroy()
+        # measured images are noisy copies of candidates 3 and 7
+        rng = np.random.default_rng(0)
+        measured = intensities[[3, 7]] * (1 + 0.01 * rng.standard_normal((2, intensities.shape[1])))
+        assignment, scores = match_orientations(measured, intensities)
+        np.testing.assert_array_equal(assignment, [3, 7])
+        assert np.all(scores > 0.95)
+
+    def test_phasing_recovers_density_from_full_magnitudes(self):
+        dens, mask = synthetic_density(16, rng=2)
+        mags = np.abs(centered_fft(dens))
+        recon, errors = phase_retrieval(mags, mask, n_iterations=250, method="hio",
+                                        rng=0, track_errors=True)
+        assert errors[-1] < 0.15
+        assert fourier_error(recon, mags) < 0.15
+
+    def test_centered_fft_roundtrip(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 8, 8))
+        np.testing.assert_allclose(centered_ifft(centered_fft(a)).real, a, atol=1e-12)
+
+    def test_phasing_validation(self):
+        dens, mask = synthetic_density(8, rng=0)
+        with pytest.raises(ValueError):
+            phase_retrieval(np.abs(centered_fft(dens)), mask[:4], n_iterations=5)
+        with pytest.raises(ValueError):
+            phase_retrieval(np.abs(centered_fft(dens)), mask, method="bogus")
+
+
+class TestMTIPPipeline:
+    def test_full_loop_runs_and_orients_well(self):
+        cfg = MTIPConfig(n_modes=12, n_pix=12, n_images=16, n_candidates=24,
+                         eps=1e-7, phasing_iterations=40, seed=4)
+        recon = MTIPReconstruction(cfg)
+        density, history = recon.run(n_iterations=2)
+        assert density.shape == (12, 12, 12)
+        assert len(history) == 2
+        # with the true orientations among the candidates, matching is strong
+        assert history[-1].mean_orientation_score > 0.6
+        assert all(np.isfinite(h.density_error) for h in history)
+        assert all(set(h.nufft_seconds) == {"slicing", "merging"} for h in history)
+        assert all(h.nufft_seconds["merging"] > 0 for h in history)
+
+    def test_table2_problem_sizes(self):
+        # the per-rank Table II sizes: sanity-check the density values quoted
+        from repro.workloads.problems import table2_problems
+
+        slicing, merging = table2_problems(1.0)
+        assert slicing.n_modes == (41, 41, 41) and slicing.nufft_type == 2
+        assert merging.n_modes == (81, 81, 81) and merging.nufft_type == 1
+        rho_slicing = slicing.n_points / (2 * 41) ** 3
+        rho_merging = merging.n_points / (2 * 81) ** 3
+        assert rho_slicing == pytest.approx(1.86, rel=0.05)
+        assert rho_merging == pytest.approx(3.85, rel=0.05)

@@ -1,0 +1,196 @@
+"""Unit and property tests for the spreading kernels (ES, Gaussian, Kaiser-Bessel)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    ESKernel,
+    GaussianKernel,
+    KaiserBesselKernel,
+    kernel_params_for_tolerance,
+    quadrature_kernel_ft,
+)
+from repro.kernels.kaiser_bessel import GPUNUFFT_ACCURACY_FLOOR, beatty_beta
+from repro.kernels.es_kernel import MAX_KERNEL_WIDTH, MIN_KERNEL_WIDTH
+
+
+# --------------------------------------------------------------------------- #
+# parameter selection (paper Eq. (6))
+# --------------------------------------------------------------------------- #
+class TestKernelParams:
+    @pytest.mark.parametrize(
+        "eps,expected_w",
+        [(1e-1, 2), (1e-2, 3), (1e-3, 4), (1e-5, 6), (1e-7, 8), (1e-12, 13)],
+    )
+    def test_width_formula_matches_paper(self, eps, expected_w):
+        w, beta = kernel_params_for_tolerance(eps)
+        assert w == expected_w
+        assert beta == pytest.approx(2.30 * expected_w)
+
+    def test_width_clipped_to_supported_range(self):
+        w_lo, _ = kernel_params_for_tolerance(0.5)
+        w_hi, _ = kernel_params_for_tolerance(1e-30)
+        assert w_lo == MIN_KERNEL_WIDTH
+        assert w_hi == MAX_KERNEL_WIDTH
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-3, 1.0, 2.0])
+    def test_invalid_tolerance_rejected(self, bad):
+        with pytest.raises(ValueError):
+            kernel_params_for_tolerance(bad)
+
+    def test_non_default_upsampling_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_params_for_tolerance(1e-6, upsampfac=1.25)
+
+    @given(st.floats(min_value=1e-14, max_value=0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_width_monotone_in_tolerance(self, eps):
+        w_loose, _ = kernel_params_for_tolerance(min(0.5, eps * 10))
+        w_tight, _ = kernel_params_for_tolerance(eps)
+        assert w_tight >= w_loose
+
+
+# --------------------------------------------------------------------------- #
+# ES kernel shape properties
+# --------------------------------------------------------------------------- #
+class TestESKernel:
+    def test_support_and_peak(self):
+        k = ESKernel.from_tolerance(1e-6)
+        z = np.linspace(-2, 2, 401)
+        vals = k(z)
+        assert np.all(vals[np.abs(z) > 1] == 0)
+        assert vals[200] == pytest.approx(1.0)  # z = 0
+        assert np.all(vals >= 0)
+
+    def test_symmetry(self):
+        k = ESKernel.from_tolerance(1e-4)
+        z = np.linspace(0, 1, 100)
+        np.testing.assert_allclose(k(z), k(-z), rtol=0, atol=1e-15)
+
+    def test_monotone_decay_from_center(self):
+        k = ESKernel.from_tolerance(1e-8)
+        z = np.linspace(0, 1, 200)
+        vals = k(z)
+        assert np.all(np.diff(vals) <= 1e-15)
+
+    def test_evaluate_grid_distance_support_is_half_width(self):
+        k = ESKernel.from_tolerance(1e-5)  # w = 6
+        assert k.width == 6
+        assert k.evaluate_grid_distance(np.array([2.9]))[0] > 0
+        assert k.evaluate_grid_distance(np.array([3.1]))[0] == 0
+
+    def test_evaluate_offsets_shape_and_consistency(self):
+        k = ESKernel.from_tolerance(1e-3)
+        frac = np.array([1.2, 1.7, 2.0])
+        vals = k.evaluate_offsets(frac)
+        assert vals.shape == (3, k.width)
+        expected = k.evaluate_grid_distance(frac[0] - np.arange(k.width))
+        np.testing.assert_allclose(vals[0], expected)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ESKernel(width=1, beta=2.3)
+        with pytest.raises(ValueError):
+            ESKernel(width=4, beta=-1.0)
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=15, deadline=None)
+    def test_estimated_error_decreases_with_width(self, w):
+        k1 = ESKernel(width=w, beta=2.3 * w)
+        assert 0 < k1.estimated_error() <= 1.0
+        if w < 16:
+            k2 = ESKernel(width=w + 1, beta=2.3 * (w + 1))
+            assert k2.estimated_error() < k1.estimated_error()
+
+    def test_describe_mentions_width(self):
+        k = ESKernel.from_tolerance(1e-5)
+        assert "w=6" in k.describe()
+
+
+# --------------------------------------------------------------------------- #
+# kernel Fourier transform
+# --------------------------------------------------------------------------- #
+class TestKernelFT:
+    def test_zero_frequency_equals_integral(self):
+        k = ESKernel.from_tolerance(1e-6)
+        # FT at xi=0 is the integral of the kernel over [-1, 1]
+        from scipy.integrate import quad
+
+        integral, _ = quad(lambda z: float(k(np.array([z]))[0]), -1, 1)
+        ft0 = quadrature_kernel_ft(k, 0.0)
+        assert ft0 == pytest.approx(integral, rel=1e-10)
+
+    def test_ft_positive_over_retained_modes(self):
+        # the deconvolution divides by phihat(alpha k); it must stay positive
+        from repro.kernels.kernel_ft import kernel_fourier_series
+
+        for eps in (1e-2, 1e-5, 1e-9, 1e-12):
+            k = ESKernel.from_tolerance(eps)
+            n_modes = 100
+            n_fine = 256
+            vals = kernel_fourier_series(k, n_fine, n_modes)
+            assert np.all(vals > 0), f"nonpositive kernel FT at eps={eps}"
+
+    def test_ft_even_in_frequency(self):
+        k = ESKernel.from_tolerance(1e-4)
+        xi = np.linspace(0.1, 20, 17)
+        np.testing.assert_allclose(
+            quadrature_kernel_ft(k, xi), quadrature_kernel_ft(k, -xi), rtol=1e-12
+        )
+
+    def test_quadrature_converged(self):
+        k = ESKernel.from_tolerance(1e-8)
+        xi = np.array([0.0, 3.7, 11.1])
+        coarse = quadrature_kernel_ft(k, xi, n_quad=64)
+        fine = quadrature_kernel_ft(k, xi, n_quad=256)
+        np.testing.assert_allclose(coarse, fine, rtol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# baseline kernels
+# --------------------------------------------------------------------------- #
+class TestGaussianKernel:
+    def test_wider_than_es_for_same_tolerance(self):
+        for eps in (1e-2, 1e-4, 1e-6):
+            es = ESKernel.from_tolerance(eps)
+            gauss = GaussianKernel.from_tolerance(eps)
+            assert gauss.width >= es.width
+
+    def test_value_at_truncation_edge_matches_tolerance(self):
+        eps = 1e-5
+        g = GaussianKernel.from_tolerance(eps)
+        assert g(np.array([1.0]))[0] == pytest.approx(eps, rel=1e-6)
+
+    def test_support_and_symmetry(self):
+        g = GaussianKernel.from_tolerance(1e-4)
+        assert g(np.array([1.5]))[0] == 0.0
+        z = np.linspace(0, 1, 50)
+        np.testing.assert_allclose(g(z), g(-z))
+
+    def test_ft_positive_over_modes(self):
+        from repro.kernels.kernel_ft import kernel_fourier_series
+
+        g = GaussianKernel.from_tolerance(1e-5)
+        vals = kernel_fourier_series(g, 128, 64)
+        assert np.all(vals > 0)
+
+
+class TestKaiserBesselKernel:
+    def test_beatty_beta_positive_and_growing(self):
+        betas = [beatty_beta(w) for w in range(2, 9)]
+        assert all(b > 0 for b in betas)
+        assert all(b2 > b1 for b1, b2 in zip(betas, betas[1:]))
+
+    def test_width_capped_at_sector_limit(self):
+        k = KaiserBesselKernel.from_tolerance(1e-12)
+        assert k.width <= 8
+
+    def test_accuracy_floor(self):
+        k = KaiserBesselKernel.from_tolerance(1e-9)
+        assert k.estimated_error() >= GPUNUFFT_ACCURACY_FLOOR
+
+    def test_peak_normalized(self):
+        k = KaiserBesselKernel.from_tolerance(1e-3)
+        assert k(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert k(np.array([2.0]))[0] == 0.0

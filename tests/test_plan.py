@@ -1,0 +1,253 @@
+"""Tests of the Plan interface (plan / set_pts / execute / destroy) and the
+one-shot simple API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Opts,
+    Plan,
+    Precision,
+    SpreadMethod,
+    nudft_type1,
+    nudft_type2,
+    nufft2d1,
+    nufft2d2,
+    nufft3d1,
+    nufft3d2,
+    relative_l2_error,
+)
+from repro.core.plan import CUDA_CONTEXT_MB
+from repro.gpu.device import Device
+from tests.conftest import make_points_2d, make_points_3d
+
+
+class TestPlanConstruction:
+    def test_invalid_type_and_dims(self):
+        with pytest.raises(ValueError):
+            Plan(3, (16, 16))
+        with pytest.raises(ValueError):
+            Plan(1, (16,))
+        with pytest.raises(ValueError):
+            Plan(1, (16, 16, 16, 16))
+        with pytest.raises(ValueError):
+            Plan(1, (0, 16))
+        with pytest.raises(ValueError):
+            Plan(1, (16, 16), n_trans=0)
+
+    def test_method_resolution(self):
+        assert Plan(1, (16, 16)).method is SpreadMethod.SM
+        assert Plan(2, (16, 16)).method is SpreadMethod.GM_SORT
+        # 3D double precision falls back to GM-sort at high accuracy (Remark 2)
+        p = Plan(1, (64, 64, 64), eps=1e-9, precision="double")
+        assert p.method is SpreadMethod.GM_SORT
+        # but an explicit low-accuracy 3D single-precision plan keeps SM
+        assert Plan(1, (64, 64, 64), eps=1e-3, precision="single").method is SpreadMethod.SM
+
+    def test_opts_overrides(self):
+        plan = Plan(1, (32, 32), opts=Opts(), method="GM", precision="double",
+                    max_subproblem_size=256)
+        assert plan.method is SpreadMethod.GM
+        assert plan.precision is Precision.DOUBLE
+        assert plan.opts.max_subproblem_size == 256
+
+    def test_fine_grid_and_kernel(self):
+        plan = Plan(1, (100, 200), eps=1e-5)
+        assert plan.kernel.width == 6
+        assert plan.fine_shape == (200, 400)
+        assert plan.bin_shape == (32, 32)
+
+    def test_report_before_and_after_execute(self, rng):
+        x, y, c = make_points_2d(rng, m=300)
+        plan = Plan(1, (16, 16), eps=1e-4)
+        assert "type 1" in plan.report()
+        plan.set_pts(x, y)
+        plan.execute(c.astype(np.complex64))
+        report = plan.report()
+        assert "modelled timings" in report
+        plan.destroy()
+
+
+class TestSetPts:
+    def test_shape_validation(self, rng):
+        plan = Plan(1, (16, 16))
+        with pytest.raises(ValueError):
+            plan.set_pts(np.zeros(10), np.zeros(11))
+        with pytest.raises(ValueError):
+            plan.set_pts(np.zeros(10), np.zeros(10), np.zeros(10))  # z on a 2D plan
+        with pytest.raises(ValueError):
+            plan.set_pts(np.zeros(0), np.zeros(0))
+        plan3 = Plan(1, (8, 8, 8))
+        with pytest.raises(ValueError):
+            plan3.set_pts(np.zeros(10), np.zeros(10))  # missing z
+
+    def test_execute_before_set_pts(self):
+        plan = Plan(1, (16, 16))
+        with pytest.raises(RuntimeError):
+            plan.execute(np.zeros(4, dtype=np.complex64))
+
+    def test_set_pts_can_be_called_again(self, rng):
+        x, y, c = make_points_2d(rng, m=500)
+        plan = Plan(1, (20, 20), eps=1e-6, precision="double")
+        plan.set_pts(x, y)
+        first = plan.execute(c)
+        # new points of a different size
+        x2, y2, c2 = make_points_2d(rng, m=700)
+        plan.set_pts(x2, y2)
+        second = plan.execute(c2)
+        assert second.shape == (20, 20)
+        exact = nudft_type1([x2, y2], c2, (20, 20))
+        assert relative_l2_error(second, exact) < 1e-4
+        assert not np.allclose(first, second)
+        plan.destroy()
+
+    def test_repeated_execute_same_points(self, rng):
+        # the whole point of the plan interface: new strengths, same points
+        x, y, c = make_points_2d(rng, m=600)
+        d = rng.standard_normal(600) + 1j * rng.standard_normal(600)
+        with Plan(1, (24, 24), eps=1e-7, precision="double") as plan:
+            plan.set_pts(x, y)
+            fc = plan.execute(c)
+            fd = plan.execute(d)
+        assert relative_l2_error(fc, nudft_type1([x, y], c, (24, 24))) < 1e-5
+        assert relative_l2_error(fd, nudft_type1([x, y], d, (24, 24))) < 1e-5
+
+
+class TestExecute:
+    def test_output_dtype_follows_precision(self, rng):
+        x, y, c = make_points_2d(rng, m=300)
+        with Plan(1, (16, 16), precision="single") as plan:
+            plan.set_pts(x, y)
+            assert plan.execute(c).dtype == np.complex64
+        with Plan(1, (16, 16), precision="double") as plan:
+            plan.set_pts(x, y)
+            assert plan.execute(c).dtype == np.complex128
+
+    def test_batched_transforms(self, rng):
+        x, y, _ = make_points_2d(rng, m=400)
+        batch = rng.standard_normal((3, 400)) + 1j * rng.standard_normal((3, 400))
+        with Plan(1, (18, 18), n_trans=3, eps=1e-7, precision="double") as plan:
+            plan.set_pts(x, y)
+            out = plan.execute(batch)
+        assert out.shape == (3, 18, 18)
+        for t in range(3):
+            exact = nudft_type1([x, y], batch[t], (18, 18))
+            assert relative_l2_error(out[t], exact) < 1e-5
+
+    def test_batched_shape_validation(self, rng):
+        x, y, c = make_points_2d(rng, m=100)
+        with Plan(1, (8, 8), n_trans=2) as plan:
+            plan.set_pts(x, y)
+            with pytest.raises(ValueError):
+                plan.execute(c)  # single vector given to a 2-transform plan
+
+    def test_out_argument(self, rng):
+        x, y, c = make_points_2d(rng, m=200)
+        out = np.empty((12, 12), dtype=np.complex128)
+        with Plan(1, (12, 12), precision="double") as plan:
+            plan.set_pts(x, y)
+            returned = plan.execute(c, out=out)
+        assert returned is out
+        assert np.any(out != 0)
+
+    def test_spread_only_mode(self, rng):
+        x, y, c = make_points_2d(rng, m=300)
+        with Plan(1, (16, 16), eps=1e-4, spread_only=True) as plan:
+            plan.set_pts(x, y)
+            fine = plan.execute(c.astype(np.complex64))
+        assert fine.shape == plan.fine_shape
+
+    def test_type2_wrong_mode_shape(self, rng):
+        x, y, _ = make_points_2d(rng, m=100)
+        with Plan(2, (16, 16)) as plan:
+            plan.set_pts(x, y)
+            with pytest.raises(ValueError):
+                plan.execute(np.zeros((8, 8), dtype=np.complex64))
+
+
+class TestTimingsAndMemory:
+    def test_timings_keys_and_ordering(self, rng):
+        x, y, c = make_points_2d(rng, m=2000)
+        with Plan(1, (64, 64), eps=1e-5) as plan:
+            plan.set_pts(x, y)
+            plan.execute(c.astype(np.complex64))
+            t = plan.timings()
+        assert set(t) == {"exec", "setup", "total", "mem", "total+mem"}
+        assert t["total"] == pytest.approx(t["exec"] + t["setup"])
+        assert t["total+mem"] == pytest.approx(t["total"] + t["mem"])
+        assert all(v >= 0 for v in t.values())
+        assert plan.ns_per_point("exec") > 0
+
+    def test_spread_fraction_dominates_3d_type1(self, rng):
+        # Table I: spreading is >90% of exec for 3D type 1
+        x, y, z, c = make_points_3d(rng, m=3000)
+        with Plan(1, (32, 32, 32), eps=1e-5, precision="single") as plan:
+            plan.set_pts(x, y, z)
+            plan.execute(c.astype(np.complex64))
+            assert plan.spread_fraction() > 0.5
+
+    def test_gpu_ram_accounting(self, rng):
+        x, y, c = make_points_2d(rng, m=1000)
+        plan = Plan(1, (128, 128), eps=1e-5)
+        base = plan.gpu_ram_mb(include_context=False)
+        assert base > 0
+        assert plan.gpu_ram_mb() == pytest.approx(base + CUDA_CONTEXT_MB)
+        plan.set_pts(x, y)
+        with_points = plan.gpu_ram_mb(include_context=False)
+        assert with_points > base
+        plan.destroy()
+        assert plan.device.memory.allocated_bytes == 0
+
+    def test_sorted_methods_use_more_ram_than_gm(self, rng):
+        # Table I: GM-sort/SM carry the ~8 bytes/point index overhead
+        x, y, c = make_points_2d(rng, m=5000)
+        ram = {}
+        for method in ("GM", "GM-sort"):
+            plan = Plan(1, (64, 64), eps=1e-2, method=method)
+            plan.set_pts(x, y)
+            ram[method] = plan.gpu_ram_mb(include_context=False)
+            plan.destroy()
+        assert ram["GM-sort"] > ram["GM"]
+
+    def test_destroyed_plan_refuses_work(self, rng):
+        x, y, c = make_points_2d(rng, m=100)
+        plan = Plan(1, (8, 8))
+        plan.destroy()
+        with pytest.raises(RuntimeError):
+            plan.set_pts(x, y)
+
+    def test_shared_device_accumulates_allocations(self, rng):
+        device = Device()
+        p1 = Plan(1, (32, 32), device=device)
+        p2 = Plan(2, (32, 32), device=device)
+        assert device.memory.allocated_bytes > 0
+        p1.destroy()
+        remaining = device.memory.allocated_bytes
+        assert remaining > 0
+        p2.destroy()
+        assert device.memory.allocated_bytes == 0
+
+
+class TestSimpleAPI:
+    def test_nufft2d1_and_2d2(self, rng):
+        x, y, c = make_points_2d(rng, m=700)
+        f = nufft2d1(x, y, c, (20, 22), eps=1e-7, precision="double")
+        assert relative_l2_error(f, nudft_type1([x, y], c, (20, 22))) < 1e-5
+        modes = rng.standard_normal((20, 22)) + 1j * rng.standard_normal((20, 22))
+        cc = nufft2d2(x, y, modes, eps=1e-7, precision="double")
+        assert relative_l2_error(cc, nudft_type2([x, y], modes)) < 1e-5
+
+    def test_nufft3d1_and_3d2(self, rng):
+        x, y, z, c = make_points_3d(rng, m=600)
+        f = nufft3d1(x, y, z, c, (10, 12, 8), eps=1e-6, precision="double")
+        assert relative_l2_error(f, nudft_type1([x, y, z], c, (10, 12, 8))) < 1e-4
+        modes = rng.standard_normal((10, 12, 8)) + 1j * rng.standard_normal((10, 12, 8))
+        cc = nufft3d2(x, y, z, modes, eps=1e-6, precision="double")
+        assert relative_l2_error(cc, nudft_type2([x, y, z], modes)) < 1e-4
+
+    def test_simple_api_validation(self, rng):
+        x, y, c = make_points_2d(rng, m=50)
+        with pytest.raises(ValueError):
+            nufft2d1(x, y, c, (16, 16, 16))
+        with pytest.raises(ValueError):
+            nufft2d2(x, y, np.zeros((4, 4, 4), dtype=complex))
