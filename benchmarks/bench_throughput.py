@@ -1,0 +1,149 @@
+"""Wall-clock throughput benchmark of the batched execution engine.
+
+Unlike the Fig./Table benchmarks (which report *modelled* V100 times), this
+module times the actual numpy implementation: spread-only, interpolation-only
+and full type-1/type-2 ``execute`` calls, single-transform and batched
+(``n_trans = 8``), on 2D and 3D workloads.
+
+Each workload is run twice -- once with the default batched engine
+(plan-level stencil cache + fused ``n_trans`` pass + Horner kernel) and once
+with ``cache_stencils=False, kernel_eval="exact"``, which reproduces the seed
+implementation's per-transform loop -- so the reported speedup tracks the
+perf trajectory of the repository itself across PRs.
+
+Results are printed as a table and written to ``BENCH_throughput.json`` at
+the repository root.  ``REPRO_BENCH_SAMPLE`` scales the number of nonuniform
+points (default 2^16); the CI smoke run uses 4096.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_throughput.py`
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks.common import emit  # noqa: E402
+from repro import Plan  # noqa: E402
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+
+#: Legacy options reproducing the seed implementation (the baseline).
+LEGACY = dict(cache_stencils=False, kernel_eval="exact")
+
+
+def _sample_points():
+    return int(os.environ.get("REPRO_BENCH_SAMPLE", 1 << 16))
+
+
+def _best_of(fn, repeats):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _make_data(rng, nufft_type, n_modes, m, n_trans):
+    if nufft_type == 1:
+        block = rng.standard_normal((n_trans, m)) + 1j * rng.standard_normal((n_trans, m))
+    else:
+        shape = (n_trans,) + tuple(n_modes)
+        block = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return block if n_trans > 1 else block[0]
+
+
+def run_workload(name, nufft_type, n_modes, m, eps, n_trans, rng, repeats=3):
+    """Time one configuration with the batched engine and the seed baseline."""
+    ndim = len(n_modes)
+    coords = [rng.uniform(-np.pi, np.pi, m) for _ in range(ndim)]
+    data = _make_data(rng, nufft_type, n_modes, m, n_trans)
+
+    plan = Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps)
+    t0 = time.perf_counter()
+    plan.set_pts(*coords)
+    setup_s = time.perf_counter() - t0
+    plan.execute(data)  # warm-up (imports, Horner coefficient fit, fft wisdom)
+    cached_s = _best_of(lambda: plan.execute(data), repeats)
+    plan.destroy()
+
+    legacy = Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps, **LEGACY)
+    legacy.set_pts(*coords)
+    legacy.execute(data)  # warm-up
+    legacy_s = _best_of(lambda: legacy.execute(data), max(1, repeats - 1))
+    legacy.destroy()
+
+    return {
+        "name": name,
+        "nufft_type": nufft_type,
+        "n_modes": list(n_modes),
+        "n_points": m,
+        "eps": eps,
+        "n_trans": n_trans,
+        "setup_s": setup_s,
+        "cached_exec_s": cached_s,
+        "legacy_exec_s": legacy_s,
+        "speedup": legacy_s / cached_s if cached_s > 0 else float("inf"),
+    }
+
+
+def run_throughput(repeats=3):
+    m = _sample_points()
+    rng = np.random.default_rng(0)
+    configs = [
+        ("2d_type1", 1, (128, 128), m, 1e-6),
+        ("2d_type2", 2, (128, 128), m, 1e-6),
+        ("3d_type1", 1, (32, 32, 32), max(1024, m // 2), 1e-6),
+        ("3d_type2", 2, (32, 32, 32), max(1024, m // 2), 1e-6),
+    ]
+    records = []
+    for name, nufft_type, n_modes, points, eps in configs:
+        for n_trans in (1, 8):
+            records.append(
+                run_workload(name, nufft_type, n_modes, points, eps, n_trans, rng,
+                             repeats=repeats)
+            )
+
+    batched = [r for r in records if r["n_trans"] == 8]
+    batched_t1 = [r for r in batched if r["nufft_type"] == 1]
+    summary = {
+        "sample_points": m,
+        "workloads": records,
+        "min_speedup_ntrans8": min(r["speedup"] for r in batched),
+        # Type-1 workloads are spread-dominated at any scale; type-2 becomes
+        # FFT-bound at small smoke sizes (the FFT is unchanged by the batched
+        # engine), so CI gates on the type-1 minimum.
+        "min_speedup_ntrans8_type1": min(r["speedup"] for r in batched_t1),
+        "geomean_speedup_ntrans8": float(
+            np.exp(np.mean([np.log(r["speedup"]) for r in batched]))
+        ),
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(summary, fh, indent=2)
+
+    rows = [
+        [r["name"], r["n_trans"], r["n_points"], 1e3 * r["setup_s"],
+         1e3 * r["cached_exec_s"], 1e3 * r["legacy_exec_s"], r["speedup"]]
+        for r in records
+    ]
+    emit(
+        "throughput",
+        f"Wall-clock throughput (M={m}, batched engine vs seed loop)",
+        ["workload", "n_trans", "M", "setup ms", "cached ms", "seed ms", "speedup"],
+        rows,
+    )
+    print(f"\nwrote {JSON_PATH}")
+    print(f"min n_trans=8 speedup: {summary['min_speedup_ntrans8']:.2f}x "
+          f"(type-1 only: {summary['min_speedup_ntrans8_type1']:.2f}x), "
+          f"geomean: {summary['geomean_speedup_ntrans8']:.2f}x")
+    return summary
+
+
+if __name__ == "__main__":
+    run_throughput()

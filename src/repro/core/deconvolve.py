@@ -95,35 +95,46 @@ class CorrectionFactors:
         Parameters
         ----------
         fine_hat : ndarray
-            FFT of the fine grid, standard FFT ordering, shape ``fine_shape``.
+            FFT of the fine grid, standard FFT ordering, shape ``fine_shape``
+            or a stacked ``(n_trans, *fine_shape)`` batch.
 
         Returns
         -------
-        ndarray, shape ``modes_shape``
+        ndarray, shape ``modes_shape`` (or ``(n_trans, *modes_shape)``)
             Output Fourier coefficients ``f_k`` with ``k`` ascending from
             ``-N//2`` along every axis.
         """
-        if fine_hat.shape != self.fine_shape:
+        batched = fine_hat.ndim == self.ndim + 1
+        if fine_hat.shape[fine_hat.ndim - self.ndim:] != self.fine_shape or \
+                fine_hat.ndim not in (self.ndim, self.ndim + 1):
             raise ValueError(
                 f"fine_hat has shape {fine_hat.shape}, expected {self.fine_shape}"
             )
         idx = self._mode_slices()
-        out = fine_hat[np.ix_(*idx)]
+        lead = (slice(None),) if batched else ()
+        out = fine_hat[lead + tuple(np.ix_(*idx))]
         out = out * self.as_broadcast_factors(out.dtype)
         if dtype is not None:
             out = out.astype(dtype, copy=False)
         return out
 
     def pad_and_scale(self, modes, dtype=np.complex128):
-        """Type-2 step 1: scale the input modes and zero-pad to the fine grid."""
+        """Type-2 step 1: scale the input modes and zero-pad to the fine grid.
+
+        Accepts ``modes_shape`` or a stacked ``(n_trans, *modes_shape)`` batch.
+        """
         modes = np.asarray(modes)
-        if modes.shape != self.modes_shape:
+        batched = modes.ndim == self.ndim + 1
+        if modes.shape[modes.ndim - self.ndim:] != self.modes_shape or \
+                modes.ndim not in (self.ndim, self.ndim + 1):
             raise ValueError(
                 f"modes has shape {modes.shape}, expected {self.modes_shape}"
             )
-        fine = np.zeros(self.fine_shape, dtype=dtype)
+        lead_shape = modes.shape[:1] if batched else ()
+        fine = np.zeros(lead_shape + self.fine_shape, dtype=dtype)
         idx = self._mode_slices()
-        fine[np.ix_(*idx)] = modes * self.as_broadcast_factors(dtype)
+        lead = (slice(None),) if batched else ()
+        fine[lead + tuple(np.ix_(*idx))] = modes * self.as_broadcast_factors(dtype)
         return fine
 
     def as_broadcast_factors(self, dtype):

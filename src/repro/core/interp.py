@@ -22,87 +22,111 @@ from ..gpu.transactions import (
     scattered_sector_ops,
 )
 from .options import SpreadMethod
-from .spread import compute_kernel_stencil, _chunk_size, _spread_flops, _point_read_bytes
+from .spread import (
+    _chunk_stencil,
+    _point_chunk,
+    _point_read_bytes,
+    _spread_flops,
+)
 
-__all__ = ["interpolate", "interp_gm", "interp_gm_sort", "interp_kernel_profiles"]
+__all__ = [
+    "interpolate",
+    "interp_cached",
+    "interp_gm",
+    "interp_gm_sort",
+    "interp_kernel_profiles",
+]
 
 
-def _interp_points(grid, grid_coords, kernel, point_order, out):
-    """Interpolate the points listed in ``point_order`` (chunked)."""
+def _as_grid_batch(grid, ndim):
+    """View the fine grid as a ``(n_trans, *fine_shape)`` block; flag batched."""
+    grid = np.asarray(grid, dtype=np.complex128)
+    batched = grid.ndim == ndim + 1
+    return (grid if batched else grid[None]), batched
+
+
+def _interp_points(grids, grid_coords, kernel, point_order, out, cache=None):
+    """Interpolate the points listed in ``point_order`` (chunked, batched).
+
+    ``grids`` has shape ``(n_trans, *fine_shape)`` and ``out`` shape
+    ``(n_trans, M)``; each chunk gathers the fine-grid values of all
+    transforms at once and contracts them against the shared kernel weights.
+    """
     ndim = len(grid_coords)
-    fine_shape = grid.shape
-    flat_grid = grid.reshape(-1)
-    w = kernel.width
-    chunk = _chunk_size(ndim)
-    offsets = np.arange(w, dtype=np.int64)
+    fine_shape = grids.shape[1:]
+    n_trans = grids.shape[0]
+    flat = grids.reshape(n_trans, -1)
+    chunk = _point_chunk(n_trans, kernel.width ** ndim)
 
     for start in range(0, point_order.shape[0], chunk):
         sel = point_order[start:start + chunk]
-        idx_per_dim = []
-        vals_per_dim = []
-        for d in range(ndim):
-            i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d], kernel)
-            idx = np.mod(i0[:, None] + offsets[None, :], fine_shape[d])
-            idx_per_dim.append(idx)
-            vals_per_dim.append(vals)
-
-        if ndim == 2:
-            n2 = fine_shape[1]
-            flat_idx = idx_per_dim[0][:, :, None] * n2 + idx_per_dim[1][:, None, :]
-            weights = vals_per_dim[0][:, :, None] * vals_per_dim[1][:, None, :]
-            vals_grid = flat_grid[flat_idx]
-            out[sel] = np.sum(vals_grid * weights, axis=(1, 2))
-        else:
-            n2, n3 = fine_shape[1], fine_shape[2]
-            flat_idx = (
-                idx_per_dim[0][:, :, None, None] * (n2 * n3)
-                + idx_per_dim[1][:, None, :, None] * n3
-                + idx_per_dim[2][:, None, None, :]
-            )
-            weights = (
-                vals_per_dim[0][:, :, None, None]
-                * vals_per_dim[1][:, None, :, None]
-                * vals_per_dim[2][:, None, None, :]
-            )
-            vals_grid = flat_grid[flat_idx]
-            out[sel] = np.sum(vals_grid * weights, axis=(1, 2, 3))
+        flat_idx, wprod = _chunk_stencil(grid_coords, fine_shape, kernel, sel, cache)
+        gathered = flat[:, flat_idx]  # (n_trans, m, w^d)
+        out[:, sel] = np.einsum("tmk,mk->tm", gathered, wprod)
     return out
 
 
-def interp_gm(grid, grid_coords, kernel, dtype=np.complex64):
-    """GM interpolation: targets visited in their user-supplied order."""
+def interp_cached(grid, grid_coords, cache, dtype=np.complex64):
+    """Interpolate via the cached sparse operator (one pass over all transforms).
+
+    ``interp_matrix @ grid`` performs the kernel-weighted gather for every
+    transform at once; real and imaginary parts are contracted separately so
+    the real-valued operator is never upcast (and copied) to complex.
+    """
+    if cache is None or cache.interp_matrix is None:
+        raise ValueError("interp_cached needs a stencil cache with a sparse operator")
+    ndim = len(grid_coords)
+    grids, batched = _as_grid_batch(grid, ndim)
+    flat = grids.reshape(grids.shape[0], -1).T  # (n_fine, n_trans)
+    matrix = cache.interp_matrix
+    out = ((matrix @ np.ascontiguousarray(flat.real))
+           + 1j * (matrix @ np.ascontiguousarray(flat.imag))).T
+    out = out.astype(dtype, copy=False)
+    return out if batched else out[0]
+
+
+def _interp_ordered(grid, grid_coords, kernel, point_order, cache, dtype):
+    ndim = len(grid_coords)
+    grids, batched = _as_grid_batch(grid, ndim)
     m = grid_coords[0].shape[0]
-    out = np.zeros(m, dtype=np.complex128)
+    out = np.zeros((grids.shape[0], m), dtype=np.complex128)
+    _interp_points(grids, grid_coords, kernel, point_order, out, cache=cache)
+    out = out.astype(dtype, copy=False)
+    return out if batched else out[0]
+
+
+def interp_gm(grid, grid_coords, kernel, dtype=np.complex64, cache=None):
+    """GM interpolation: targets visited in their user-supplied order.
+
+    ``grid`` may be ``(*fine_shape)`` or a stacked ``(n_trans, *fine_shape)``
+    block; the output gains a matching leading axis.
+    """
+    m = grid_coords[0].shape[0]
     order = np.arange(m, dtype=np.int64)
-    _interp_points(np.asarray(grid, dtype=np.complex128), grid_coords, kernel, order, out)
-    return out.astype(dtype, copy=False)
+    return _interp_ordered(grid, grid_coords, kernel, order, cache, dtype)
 
 
-def interp_gm_sort(grid, grid_coords, kernel, sort, dtype=np.complex64):
+def interp_gm_sort(grid, grid_coords, kernel, sort, dtype=np.complex64, cache=None):
     """GM-sort interpolation: targets visited in bin-sorted order.
 
     The permuted visiting order only changes memory locality; the value
     written to each ``c_j`` is identical to GM up to floating point.
     """
-    m = grid_coords[0].shape[0]
-    out = np.zeros(m, dtype=np.complex128)
-    _interp_points(
-        np.asarray(grid, dtype=np.complex128), grid_coords, kernel, sort.permutation, out
-    )
-    return out.astype(dtype, copy=False)
+    return _interp_ordered(grid, grid_coords, kernel, sort.permutation, cache, dtype)
 
 
-def interpolate(grid, grid_coords, kernel, method, sort=None, dtype=np.complex64):
+def interpolate(grid, grid_coords, kernel, method, sort=None, dtype=np.complex64,
+                cache=None):
     """Dispatch to the requested interpolation method."""
     method = SpreadMethod.parse(method)
     if method is SpreadMethod.GM:
-        return interp_gm(grid, grid_coords, kernel, dtype)
+        return interp_gm(grid, grid_coords, kernel, dtype, cache=cache)
     if method in (SpreadMethod.GM_SORT, SpreadMethod.SM):
         # The paper notes an SM-style scheme brings little benefit for
         # interpolation; SM requests fall back to GM-sort (same as the code).
         if sort is None:
             raise ValueError("GM-sort interpolation requires a BinSort")
-        return interp_gm_sort(grid, grid_coords, kernel, sort, dtype)
+        return interp_gm_sort(grid, grid_coords, kernel, sort, dtype, cache=cache)
     raise ValueError(f"cannot interpolate with method {method!r}")
 
 

@@ -128,6 +128,19 @@ class Opts:
     sort_points : bool
         Whether set_pts performs the bin sort (GM ignores the permutation but
         the flag lets benchmarks price the sort separately).
+    cache_stencils : bool
+        Whether ``set_pts`` precomputes the per-point kernel stencils (and,
+        within ``stencil_budget``, the fused sparse spread/interp operator)
+        so repeated ``execute`` calls never re-evaluate the kernel.  Disabling
+        this reproduces the seed implementation's per-transform loop, which
+        the throughput benchmark uses as its baseline.
+    kernel_eval : str
+        "horner" evaluates the ES kernel through its precomputed
+        piecewise-polynomial (Horner) approximation, "exact" through
+        ``exp(beta*(sqrt(1-z^2)-1))`` directly.
+    stencil_budget : int
+        Maximum fused stencil entry count ``M * w^d`` the cache may
+        materialize (indices + weights + sparse operator).
     """
 
     method: SpreadMethod = SpreadMethod.AUTO
@@ -138,6 +151,9 @@ class Opts:
     threads_per_block: int = 128
     spread_only: bool = False
     sort_points: bool = True
+    cache_stencils: bool = True
+    kernel_eval: str = "horner"
+    stencil_budget: int = 1 << 25
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -149,6 +165,12 @@ class Opts:
             raise ValueError("max_subproblem_size must be positive")
         if self.threads_per_block <= 0:
             raise ValueError("threads_per_block must be positive")
+        if self.kernel_eval not in ("horner", "exact"):
+            raise ValueError(
+                f"kernel_eval must be 'horner' or 'exact', got {self.kernel_eval!r}"
+            )
+        if self.stencil_budget < 0:
+            raise ValueError("stencil_budget must be non-negative")
         if self.bin_shape is not None:
             self.bin_shape = tuple(int(m) for m in self.bin_shape)
             if any(m <= 0 for m in self.bin_shape):
@@ -191,6 +213,9 @@ class Opts:
             "threads_per_block": self.threads_per_block,
             "spread_only": self.spread_only,
             "sort_points": self.sort_points,
+            "cache_stencils": self.cache_stencils,
+            "kernel_eval": self.kernel_eval,
+            "stencil_budget": self.stencil_budget,
             "extra": dict(self.extra),
         }
         data.update(overrides)

@@ -33,15 +33,17 @@ from .binsort import (
 )
 from .deconvolve import CorrectionFactors, deconvolve_kernel_profile
 from .gridsize import fine_grid_shape
-from .interp import interp_kernel_profiles, interpolate
+from .interp import interp_cached, interp_kernel_profiles, interpolate
 from .options import Opts, Precision, SpreadMethod
 from .spread import (
+    spread_cached,
     spread_gm,
     spread_gm_sort,
     spread_kernel_profiles,
     spread_sm,
     spread_sm_kernel_profiles,
 )
+from .stencil import build_stencil_cache
 
 __all__ = ["Plan", "CUDA_CONTEXT_MB"]
 
@@ -141,6 +143,7 @@ class Plan:
         self._grid_coords = None
         self._sort = None
         self._subproblems = None
+        self._stencil = None
         self._point_buffers = []
         self.n_points = 0
 
@@ -218,6 +221,20 @@ class Plan:
         # the sort kernels are only charged when the method uses the sort.
         self._sort = bin_sort(self._grid_coords, self.fine_shape, self.bin_shape)
         self._subproblems = None
+
+        # Plan-level stencil cache: the per-point kernel stencils (and, within
+        # budget, the fused sparse spread/interp operator) depend only on the
+        # points, so they are computed once here and reused by every execute.
+        # Rebuilding on each set_pts call is the cache invalidation.
+        self._stencil = None
+        if self.opts.cache_stencils:
+            self._stencil = build_stencil_cache(
+                self._grid_coords,
+                self.fine_shape,
+                self.kernel,
+                kernel_eval=self.opts.kernel_eval,
+                fuse_budget=self.opts.stencil_budget,
+            )
         if self.method is SpreadMethod.SM and self.nufft_type == 1:
             self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
 
@@ -260,6 +277,12 @@ class Plan:
         In ``spread_only`` mode (used by the Fig. 2 / Fig. 3 benchmarks) the
         FFT and deconvolution are skipped: type 1 returns the fine grid and
         type 2 expects a fine-grid-shaped input to interpolate from.
+
+        With the default ``cache_stencils`` option all ``n_trans`` transforms
+        run through one fused pass per pipeline stage (spread / FFT /
+        deconvolve or their type-2 transposes), reusing the stencils
+        precomputed by :meth:`set_pts`; disabling the option falls back to the
+        per-transform loop of the original implementation.
         """
         self._require_points()
         data = np.asarray(data)
@@ -269,18 +292,20 @@ class Plan:
         pipeline = PipelineProfile()
         self._fft.pipeline = pipeline
 
-        results = []
-        for t in range(self.n_trans if batched else 1):
-            vec = data[t] if batched else data
+        stack = (data if batched else data[None]).astype(cplx, copy=False)
+        if self.opts.cache_stencils:
             if self.nufft_type == 1:
-                results.append(self._execute_type1(vec.astype(cplx, copy=False), pipeline))
+                output = self._execute_type1_batched(stack, pipeline)
             else:
-                results.append(self._execute_type2(vec.astype(cplx, copy=False), pipeline))
+                output = self._execute_type2_batched(stack, pipeline)
+        else:
+            runner = self._execute_type1 if self.nufft_type == 1 else self._execute_type2
+            output = np.stack([runner(stack[t], pipeline) for t in range(stack.shape[0])])
 
-        self._record_execute_transfers(data, results, pipeline)
+        self._record_execute_transfers(data, output, pipeline)
         self._exec_pipeline = pipeline
 
-        output = np.stack(results) if batched else results[0]
+        output = output if batched else output[0]
         if out is not None:
             out[...] = output
             return out
@@ -308,12 +333,25 @@ class Plan:
         )
 
     def _spread_fine_grid(self, strengths, pipeline):
+        """Spread one ``(M,)`` vector or a ``(n_trans, M)`` block.
+
+        When the stencil cache carries the fused sparse operator, every method
+        shares its accumulation pass (the method still determines the modelled
+        kernel profiles, exactly as the numerics of GM / GM-sort / SM agree up
+        to summation order); otherwise the method-specific spreader runs with
+        whatever per-dimension stencils the cache holds.
+        """
         cplx = self.precision.complex_dtype
-        if self.method is SpreadMethod.GM:
-            fine = spread_gm(self.fine_shape, self._grid_coords, strengths, self.kernel, cplx)
+        cache = self._stencil
+        if cache is not None and cache.interp_matrix is not None:
+            fine = spread_cached(self.fine_shape, strengths, cache, cplx)
+        elif self.method is SpreadMethod.GM:
+            fine = spread_gm(self.fine_shape, self._grid_coords, strengths, self.kernel,
+                             cplx, cache=cache)
         elif self.method is SpreadMethod.GM_SORT:
             fine = spread_gm_sort(
-                self.fine_shape, self._grid_coords, strengths, self.kernel, self._sort, cplx
+                self.fine_shape, self._grid_coords, strengths, self.kernel, self._sort,
+                cplx, cache=cache
             )
         else:
             if self._subproblems is None:
@@ -326,10 +364,13 @@ class Plan:
                 self._sort,
                 self._subproblems,
                 cplx,
+                cache=cache,
             )
         profiles = self._spread_profiles()
-        for prof in profiles:
-            pipeline.add_kernel(prof, phase="exec")
+        n_trans = strengths.shape[0] if strengths.ndim == 2 else 1
+        for _ in range(n_trans):
+            for prof in profiles:
+                pipeline.add_kernel(prof, phase="exec")
         return fine
 
     def _spread_profiles(self):
@@ -366,6 +407,55 @@ class Plan:
         )
         return modes
 
+    def _execute_type1_batched(self, strengths, pipeline):
+        """Fused type-1 execution of the whole ``(n_trans, M)`` strength block."""
+        cplx = self.precision.complex_dtype
+        n_trans = strengths.shape[0]
+        fine = self._spread_fine_grid(strengths, pipeline)
+        if self.opts.spread_only:
+            return fine
+        axes = tuple(range(1, self.ndim + 1))
+        fine_hat = self._fft.forward(fine.astype(np.complex128, copy=False), axes=axes)
+        modes = self.correction.truncate_and_scale(fine_hat, dtype=cplx)
+        profile = deconvolve_kernel_profile(self.n_modes, self.precision.complex_itemsize)
+        for _ in range(n_trans):
+            pipeline.add_kernel(profile, phase="exec")
+        return modes
+
+    def _execute_type2_batched(self, modes, pipeline):
+        """Fused type-2 execution of the whole ``(n_trans, *n_modes)`` block."""
+        cplx = self.precision.complex_dtype
+        n_trans = modes.shape[0]
+        if self.opts.spread_only:
+            fine = modes.astype(np.complex128, copy=False)
+        else:
+            fine = self.correction.pad_and_scale(modes, dtype=np.complex128)
+            profile = deconvolve_kernel_profile(
+                self.n_modes, self.precision.complex_itemsize, name="precorrect"
+            )
+            for _ in range(n_trans):
+                pipeline.add_kernel(profile, phase="exec")
+            fine = self._fft.inverse(fine, axes=tuple(range(1, self.ndim + 1)))
+        method = self.method if self.method is not SpreadMethod.SM else SpreadMethod.GM_SORT
+        cache = self._stencil
+        if cache is not None and cache.interp_matrix is not None:
+            result = interp_cached(fine, self._grid_coords, cache, cplx)
+        else:
+            result = interpolate(fine, self._grid_coords, self.kernel, method, self._sort,
+                                 cplx, cache=cache)
+        profiles = interp_kernel_profiles(
+            method,
+            self._sort,
+            self.kernel,
+            self.precision,
+            self.opts.threads_per_block,
+            self.device.spec,
+        )
+        for _ in range(n_trans):
+            for prof in profiles:
+                pipeline.add_kernel(prof, phase="exec")
+        return result
+
     def _execute_type2(self, modes, pipeline):
         cplx = self.precision.complex_dtype
         if self.opts.spread_only:
@@ -391,10 +481,10 @@ class Plan:
             pipeline.add_kernel(prof, phase="exec")
         return result
 
-    def _record_execute_transfers(self, data, results, pipeline):
+    def _record_execute_transfers(self, data, output, pipeline):
         cplx_sz = self.precision.complex_itemsize
         in_elems = int(np.prod(data.shape))
-        out_elems = sum(int(np.prod(np.shape(r))) for r in results)
+        out_elems = int(np.prod(np.shape(output)))
         pipeline.add_transfer("h2d", in_elems * cplx_sz, "input data")
         pipeline.add_transfer("d2h", out_elems * cplx_sz, "output data")
 
@@ -456,6 +546,13 @@ class Plan:
         ]
         if self._grid_coords is not None:
             lines.append(f"  points: {self.n_points}")
+            if self._stencil is not None:
+                kind = ("sparse-op" if self._stencil.interp_matrix is not None
+                        else "fused" if self._stencil.is_fused else "per-dim")
+                lines.append(
+                    f"  stencil cache: {kind} ({self._stencil.kernel_eval}), "
+                    f"{self._stencil.nbytes() / 1e6:.1f} MB host"
+                )
         if self._exec_pipeline is not None:
             t = self.timings()
             lines.append(
@@ -477,6 +574,7 @@ class Plan:
             buf.free()
         self._point_buffers = []
         self._buffers = []
+        self._stencil = None
         self._destroyed = True
 
     def __enter__(self):

@@ -17,6 +17,10 @@ __all__ = ["nufft2d1", "nufft2d2", "nufft3d1", "nufft3d2"]
 
 def _run_type1(coords, strengths, n_modes, eps, kwargs):
     strengths = np.asarray(strengths)
+    kwargs = dict(kwargs)
+    if strengths.ndim == 2:
+        # Stacked (n_trans, M) strength block: one batched plan execution.
+        kwargs.setdefault("n_trans", strengths.shape[0])
     with Plan(1, n_modes, eps=eps, **kwargs) as plan:
         plan.set_pts(*coords)
         return plan.execute(strengths)
@@ -24,7 +28,9 @@ def _run_type1(coords, strengths, n_modes, eps, kwargs):
 
 def _run_type2(coords, modes, eps, kwargs):
     modes = np.asarray(modes)
-    with Plan(2, modes.shape, eps=eps, **kwargs) as plan:
+    ndim = len(coords)
+    n_modes = modes.shape[modes.ndim - ndim:] if modes.ndim == ndim + 1 else modes.shape
+    with Plan(2, n_modes, eps=eps, **kwargs) as plan:
         plan.set_pts(*coords)
         return plan.execute(modes)
 
@@ -36,8 +42,9 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
     ----------
     x, y : array_like, shape (M,)
         Nonuniform point coordinates in ``[-pi, pi)``.
-    c : array_like, shape (M,)
-        Complex strengths.
+    c : array_like, shape (M,) or (n_trans, M)
+        Complex strengths; a stacked block runs as one batched transform
+        sharing the plan and its stencil cache.
     n_modes : tuple (N1, N2)
         Output mode counts.
     eps : float
@@ -57,10 +64,16 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
 
 
 def nufft2d2(x, y, f, eps=1e-6, **kwargs):
-    """2D type-2 NUFFT (paper Eq. (3)): evaluate the series ``f`` at ``(x, y)``."""
+    """2D type-2 NUFFT (paper Eq. (3)): evaluate the series ``f`` at ``(x, y)``.
+
+    ``f`` may be a ``(N1, N2)`` mode array, or -- when ``n_trans`` is passed
+    explicitly -- a stacked ``(n_trans, N1, N2)`` block evaluated in one
+    batched transform.
+    """
     f = np.asarray(f)
-    if f.ndim != 2:
-        raise ValueError(f"f must be a 2-D mode array, got shape {f.shape}")
+    expected = 3 if kwargs.get("n_trans", 1) > 1 else 2
+    if f.ndim != expected:
+        raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
     return _run_type2((x, y), f, eps, kwargs)
 
 
@@ -72,8 +85,10 @@ def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
 
 
 def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
-    """3D type-2 NUFFT."""
+    """3D type-2 NUFFT (pass ``n_trans`` for stacked ``(n_trans, N1, N2, N3)``
+    batches)."""
     f = np.asarray(f)
-    if f.ndim != 3:
-        raise ValueError(f"f must be a 3-D mode array, got shape {f.shape}")
+    expected = 4 if kwargs.get("n_trans", 1) > 1 else 3
+    if f.ndim != expected:
+        raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
     return _run_type2((x, y, z), f, eps, kwargs)

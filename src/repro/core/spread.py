@@ -41,20 +41,21 @@ from ..gpu.transactions import (
 )
 from .binsort import make_subproblems
 from .options import SpreadMethod
+from .stencil import _tensor_stencil
 
 __all__ = [
     "compute_kernel_stencil",
     "spread",
+    "spread_cached",
     "spread_gm",
     "spread_gm_sort",
     "spread_sm",
     "spread_kernel_profiles",
 ]
 
-#: Points per chunk for the vectorized accumulation (keeps the (chunk, w^d)
-#: temporaries comfortably in memory for w up to 16).
-_CHUNK_2D = 1 << 16
-_CHUNK_3D = 1 << 13
+#: Stencil entries (points x w^d x n_trans) per accumulation chunk: keeps the
+#: fused index/weight temporaries comfortably in memory for any width.
+_CHUNK_ENTRIES = 1 << 22
 
 #: Approximate flop cost of one ES kernel evaluation (sqrt + exp + mults).
 _FLOPS_PER_KERNEL_EVAL = 12.0
@@ -85,89 +86,155 @@ def compute_kernel_stencil(grid_coords_d, n_fine_d, kernel):
     return i0, vals
 
 
-def _chunk_size(ndim):
-    return _CHUNK_2D if ndim == 2 else _CHUNK_3D
+def _as_strength_batch(strengths):
+    """View strengths as a ``(n_trans, M)`` complex128 block; flag if batched."""
+    strengths = np.asarray(strengths)
+    batched = strengths.ndim == 2
+    block = strengths if batched else strengths[None, :]
+    return block.astype(np.complex128, copy=False), batched
 
 
-def _accumulate_chunk(flat_grid, flat_idx, weights):
-    """Accumulate ``weights`` at ``flat_idx`` into the flattened grid.
+def _point_chunk(n_trans, entries_per_point):
+    """Points per accumulation chunk given the per-point fused entry count."""
+    return max(256, _CHUNK_ENTRIES // max(1, n_trans * entries_per_point))
 
-    Uses ``bincount`` on the real and imaginary parts, which is far faster
-    than ``np.add.at`` for large update counts and numerically equivalent up
-    to summation order.
+
+def _chunk_stencil(grid_coords, fine_shape, kernel, sel, cache):
+    """Fused ``(flat_idx, weights)`` of shape (m, w^d) for the selected points.
+
+    Reads the plan-level :class:`~repro.core.stencil.StencilCache` when one is
+    supplied (never re-evaluating the kernel); otherwise evaluates the exact
+    stencils on the fly, which is the seed behaviour.
     """
-    size = flat_grid.shape[0]
+    if cache is not None and cache.flat_idx is not None:
+        return cache.flat_idx[sel], cache.weights[sel]
+    ndim = len(fine_shape)
+    if cache is not None:
+        idx_per_dim = [cache.idx[d][sel] for d in range(ndim)]
+        vals_per_dim = [cache.vals[d][sel] for d in range(ndim)]
+    else:
+        w = kernel.width
+        offsets = np.arange(w, dtype=np.int64)
+        idx_per_dim, vals_per_dim = [], []
+        for d in range(ndim):
+            i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d], kernel)
+            idx_per_dim.append(np.mod(i0[:, None] + offsets[None, :], fine_shape[d]))
+            vals_per_dim.append(vals)
+    return _tensor_stencil(idx_per_dim, vals_per_dim, fine_shape)
+
+
+def _accumulate_chunk(grid_real, grid_imag, flat_idx, weights_real, weights_imag):
+    """Accumulate one chunk's weights into preallocated real/imag grid views.
+
+    ``grid_real`` / ``grid_imag`` are float64 views of the (possibly batched)
+    complex grid; the ``bincount`` results are added into them in place, so no
+    complex full-grid temporary is materialized per chunk.  ``bincount`` is
+    far faster than ``np.add.at`` for large update counts and numerically
+    equivalent up to summation order.
+    """
+    size = grid_real.size
     idx = flat_idx.ravel()
-    wr = np.bincount(idx, weights=weights.real.ravel(), minlength=size)
-    wi = np.bincount(idx, weights=weights.imag.ravel(), minlength=size)
-    flat_grid += (wr + 1j * wi).astype(flat_grid.dtype, copy=False)
+    wr = np.bincount(idx, weights=weights_real.ravel(), minlength=size)
+    wi = np.bincount(idx, weights=weights_imag.ravel(), minlength=size)
+    grid_real += wr.reshape(grid_real.shape)
+    grid_imag += wi.reshape(grid_imag.shape)
 
 
-def _spread_points(grid, grid_coords, strengths, kernel, point_order):
-    """Spread the points listed in ``point_order`` (chunked, any order)."""
+def _grid_views(grids):
+    """Real and imaginary float64 in-place views of a complex128 grid block."""
+    flat = grids.reshape(grids.shape[0], -1)
+    pairs = flat.view(np.float64).reshape(flat.shape[0], flat.shape[1], 2)
+    return pairs[..., 0], pairs[..., 1]
+
+
+def _spread_points(grids, grid_coords, strengths, kernel, point_order, cache=None):
+    """Spread the points listed in ``point_order`` (chunked, any order).
+
+    ``grids`` has shape ``(n_trans, *fine_shape)`` and ``strengths`` shape
+    ``(n_trans, M)``; all transforms are accumulated in one fused
+    ``bincount`` pass per chunk (the indices of transform ``t`` are offset by
+    ``t * n_fine``), so the Python-level loop over transforms disappears.
+    """
     ndim = len(grid_coords)
-    fine_shape = grid.shape
-    flat_grid = grid.reshape(-1)
-    w = kernel.width
-    chunk = _chunk_size(ndim)
-    offsets = np.arange(w, dtype=np.int64)
+    fine_shape = grids.shape[1:]
+    n_trans = grids.shape[0]
+    size = int(np.prod(fine_shape))
+    grid_real, grid_imag = _grid_views(grids)
+    k_entries = kernel.width ** ndim
+    chunk = _point_chunk(n_trans, k_entries)
+    t_offsets = (np.arange(n_trans, dtype=np.int64) * size)[:, None, None]
 
     for start in range(0, point_order.shape[0], chunk):
         sel = point_order[start:start + chunk]
-        idx_per_dim = []
-        vals_per_dim = []
-        for d in range(ndim):
-            i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d], kernel)
-            idx = np.mod(i0[:, None] + offsets[None, :], fine_shape[d])
-            idx_per_dim.append(idx)
-            vals_per_dim.append(vals)
-        c = strengths[sel].astype(np.complex128, copy=False)
-
-        if ndim == 2:
-            n2 = fine_shape[1]
-            flat_idx = idx_per_dim[0][:, :, None] * n2 + idx_per_dim[1][:, None, :]
-            weights = (
-                c[:, None, None]
-                * vals_per_dim[0][:, :, None]
-                * vals_per_dim[1][:, None, :]
-            )
+        flat_idx, wprod = _chunk_stencil(grid_coords, fine_shape, kernel, sel, cache)
+        cw = strengths[:, sel]
+        if n_trans == 1:
+            weights_real = cw.real[0, :, None] * wprod
+            weights_imag = cw.imag[0, :, None] * wprod
+            _accumulate_chunk(grid_real, grid_imag, flat_idx,
+                              weights_real, weights_imag)
         else:
-            n2, n3 = fine_shape[1], fine_shape[2]
-            flat_idx = (
-                idx_per_dim[0][:, :, None, None] * (n2 * n3)
-                + idx_per_dim[1][:, None, :, None] * n3
-                + idx_per_dim[2][:, None, None, :]
-            )
-            weights = (
-                c[:, None, None, None]
-                * vals_per_dim[0][:, :, None, None]
-                * vals_per_dim[1][:, None, :, None]
-                * vals_per_dim[2][:, None, None, :]
-            )
-        _accumulate_chunk(flat_grid, flat_idx, weights)
-    return grid
+            big_idx = flat_idx[None, :, :] + t_offsets
+            weights_real = cw.real[:, :, None] * wprod[None, :, :]
+            weights_imag = cw.imag[:, :, None] * wprod[None, :, :]
+            _accumulate_chunk(grid_real, grid_imag, big_idx,
+                              weights_real, weights_imag)
+    return grids
 
 
 # --------------------------------------------------------------------------- #
 # numeric spreaders
 # --------------------------------------------------------------------------- #
-def spread_gm(fine_shape, grid_coords, strengths, kernel, dtype=np.complex64):
-    """GM spreading: points processed in their user-supplied order."""
-    grid = np.zeros(fine_shape, dtype=np.result_type(dtype, np.complex64))
-    order = np.arange(strengths.shape[0], dtype=np.int64)
-    _spread_points(grid, grid_coords, strengths, kernel, order)
-    return grid.astype(dtype, copy=False)
+def spread_cached(fine_shape, strengths, cache, dtype=np.complex64):
+    """Spread via the cached sparse operator (one pass over all transforms).
+
+    Requires a fused :class:`~repro.core.stencil.StencilCache` carrying the
+    CSR interpolation matrix; ``interp_matrix.T`` *is* the spreading operator,
+    so the whole ``(n_trans, M)`` strength block is spread with two real
+    sparse mat-mats (real and imaginary parts share the real-valued kernel
+    weights).
+    """
+    if cache is None or cache.interp_matrix is None:
+        raise ValueError("spread_cached needs a stencil cache with a sparse operator")
+    block, batched = _as_strength_batch(strengths)
+    spread_op = cache.interp_matrix.T  # (n_fine, M), CSC view: no copy
+    flat = (spread_op @ block.real.T) + 1j * (spread_op @ block.imag.T)
+    grids = np.ascontiguousarray(flat.T).reshape((block.shape[0],) + tuple(fine_shape))
+    out = grids.astype(dtype, copy=False)
+    return out if batched else out[0]
 
 
-def spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype=np.complex64):
+def _spread_ordered(fine_shape, grid_coords, strengths, kernel, point_order, cache,
+                    dtype):
+    block, batched = _as_strength_batch(strengths)
+    grids = np.zeros((block.shape[0],) + tuple(fine_shape), dtype=np.complex128)
+    _spread_points(grids, grid_coords, block, kernel, point_order, cache=cache)
+    out = grids.astype(dtype, copy=False)
+    return out if batched else out[0]
+
+
+def spread_gm(fine_shape, grid_coords, strengths, kernel, dtype=np.complex64,
+              cache=None):
+    """GM spreading: points processed in their user-supplied order.
+
+    ``strengths`` may be ``(M,)`` or a stacked ``(n_trans, M)`` block; the
+    output gains a matching leading axis.
+    """
+    m = np.asarray(strengths).shape[-1]
+    order = np.arange(m, dtype=np.int64)
+    return _spread_ordered(fine_shape, grid_coords, strengths, kernel, order,
+                           cache, dtype)
+
+
+def spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype=np.complex64,
+                   cache=None):
     """GM-sort spreading: points processed in bin-sorted (permuted) order."""
-    grid = np.zeros(fine_shape, dtype=np.result_type(dtype, np.complex64))
-    _spread_points(grid, grid_coords, strengths, kernel, sort.permutation)
-    return grid.astype(dtype, copy=False)
+    return _spread_ordered(fine_shape, grid_coords, strengths, kernel,
+                           sort.permutation, cache, dtype)
 
 
 def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
-              dtype=np.complex64):
+              dtype=np.complex64, cache=None):
     """SM spreading: per-subproblem padded-bin accumulation then write-back.
 
     Follows paper Fig. 1 steps 2-3 exactly: each subproblem spreads its points
@@ -175,15 +242,25 @@ def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
     coordinates ``s = l - Delta`` where ``Delta`` is the padded bin's offset in
     the fine grid, and the padded bin is then added back into the global grid
     with periodic wrapping ``l(s) = (s + Delta) mod n``.
+
+    ``strengths`` may be ``(M,)`` or a ``(n_trans, M)`` block; all transforms
+    of a subproblem share one fused accumulation pass into a
+    ``(n_trans, padded_bin)`` local buffer.  A stencil cache (per-dimension
+    ``i0``/``vals``) skips the kernel evaluation entirely.
     """
     ndim = len(fine_shape)
-    grid = np.zeros(fine_shape, dtype=np.complex128)
+    block, batched = _as_strength_batch(strengths)
+    n_trans = block.shape[0]
+    grids = np.zeros((n_trans,) + tuple(fine_shape), dtype=np.complex128)
     w = kernel.width
     pad = int(np.ceil(w / 2.0))
     bin_shape = sort.bin_shape
     bins_per_dim = sort.bins_per_dim
     local_shape = padded_bin_shape(bin_shape, w)
+    local_size = int(np.prod(local_shape))
     offsets = np.arange(w, dtype=np.int64)
+    t_offsets = (np.arange(n_trans, dtype=np.int64) * local_size)[:, None, None]
+    t_ix = np.arange(n_trans)
 
     perm = sort.permutation
     for k in range(subproblems.n_subproblems):
@@ -200,11 +277,15 @@ def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
             rem //= bins_per_dim[d]
         delta = [bcoords[d] * bin_shape[d] - pad for d in range(ndim)]
 
-        local = np.zeros(local_shape, dtype=np.complex128)
         idx_per_dim = []
         vals_per_dim = []
         for d in range(ndim):
-            i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d], kernel)
+            if cache is not None:
+                i0 = cache.i0[d][sel]
+                vals = cache.vals[d][sel]
+            else:
+                i0, vals = compute_kernel_stencil(grid_coords[d][sel], fine_shape[d],
+                                                  kernel)
             local_idx = i0[:, None] + offsets[None, :] - delta[d]
             if local_idx.min() < 0 or local_idx.max() >= local_shape[d]:
                 raise AssertionError(
@@ -213,30 +294,15 @@ def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
                 )
             idx_per_dim.append(local_idx)
             vals_per_dim.append(vals)
-        c = strengths[sel].astype(np.complex128, copy=False)
 
-        if ndim == 2:
-            p2 = local_shape[1]
-            flat_idx = idx_per_dim[0][:, :, None] * p2 + idx_per_dim[1][:, None, :]
-            weights = (
-                c[:, None, None]
-                * vals_per_dim[0][:, :, None]
-                * vals_per_dim[1][:, None, :]
-            )
-        else:
-            p2, p3 = local_shape[1], local_shape[2]
-            flat_idx = (
-                idx_per_dim[0][:, :, None, None] * (p2 * p3)
-                + idx_per_dim[1][:, None, :, None] * p3
-                + idx_per_dim[2][:, None, None, :]
-            )
-            weights = (
-                c[:, None, None, None]
-                * vals_per_dim[0][:, :, None, None]
-                * vals_per_dim[1][:, None, :, None]
-                * vals_per_dim[2][:, None, None, :]
-            )
-        _accumulate_chunk(local.reshape(-1), flat_idx, weights)
+        flat_idx, wprod = _tensor_stencil(idx_per_dim, vals_per_dim, local_shape)
+        cw = block[:, sel]
+        local = np.zeros((n_trans, local_size), dtype=np.complex128)
+        local_real, local_imag = _grid_views(local)
+        big_idx = flat_idx[None, :, :] + t_offsets if n_trans > 1 else flat_idx
+        _accumulate_chunk(local_real, local_imag, big_idx,
+                          cw.real[:, :, None] * wprod[None, :, :],
+                          cw.imag[:, :, None] * wprod[None, :, :])
 
         # Step 3: atomic add the padded bin back into global memory, with wrap.
         # np.add.at (not fancy-index +=) so that padded cells aliasing the same
@@ -246,13 +312,15 @@ def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
             np.mod(delta[d] + np.arange(local_shape[d], dtype=np.int64), fine_shape[d])
             for d in range(ndim)
         ]
-        np.add.at(grid, np.ix_(*wrapped), local)
+        np.add.at(grids, np.ix_(t_ix, *wrapped),
+                  local.reshape((n_trans,) + tuple(local_shape)))
 
-    return grid.astype(dtype, copy=False)
+    out = grids.astype(dtype, copy=False)
+    return out if batched else out[0]
 
 
 def spread(fine_shape, grid_coords, strengths, kernel, method, sort=None,
-           max_subproblem_size=1024, dtype=np.complex64):
+           max_subproblem_size=1024, dtype=np.complex64, cache=None):
     """Dispatch to the requested spreading method.
 
     ``sort`` (a :class:`~repro.core.binsort.BinSort`) is required for GM-sort
@@ -260,14 +328,16 @@ def spread(fine_shape, grid_coords, strengths, kernel, method, sort=None,
     """
     method = SpreadMethod.parse(method)
     if method is SpreadMethod.GM:
-        return spread_gm(fine_shape, grid_coords, strengths, kernel, dtype)
+        return spread_gm(fine_shape, grid_coords, strengths, kernel, dtype, cache=cache)
     if sort is None:
         raise ValueError(f"method {method.value} requires a BinSort")
     if method is SpreadMethod.GM_SORT:
-        return spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype)
+        return spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype,
+                              cache=cache)
     if method is SpreadMethod.SM:
         subproblems = make_subproblems(sort, max_subproblem_size)
-        return spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems, dtype)
+        return spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
+                         dtype, cache=cache)
     raise ValueError(f"cannot spread with method {method!r}")
 
 

@@ -1,0 +1,210 @@
+"""Plan-level stencil cache: precomputed spreading geometry for one point set.
+
+The paper's plan / set_pts / execute separation (Sec. V-A) exists so that the
+per-point work that depends only on the *points* -- not on the strengths -- is
+paid once and amortized over many ``execute`` calls (the MTIP use case, where
+the same nonuniform points are reused across ``n_trans`` strength vectors and
+across solver iterations).
+
+At ``set_pts`` time we therefore precompute and store, per dimension:
+
+* ``i0``      -- the first fine-grid node each point touches (unwrapped),
+* ``idx``     -- the ``w`` wrapped (periodic) node indices per point,
+* ``vals``    -- the ``w`` kernel values per point (Horner-evaluated by
+  default, see :func:`repro.kernels.es_kernel.horner_coefficients`),
+
+and, when the footprint ``M * w^d`` fits a memory budget, the *fused* form:
+
+* ``flat_idx`` -- the ``w^d`` wrapped flat fine-grid indices per point,
+* ``weights``  -- the ``w^d`` tensor-product kernel values per point,
+* ``interp_matrix`` -- the same data as a ``(M, n_fine)`` CSR sparse matrix
+  (when scipy is available), whose transpose is the spreading operator.
+
+``execute`` then never calls ``evaluate_offsets`` again: spreading becomes a
+single accumulation pass over the ``(n_trans, M)`` strength block (a sparse
+mat-mat, or a fused ``bincount`` without scipy) and interpolation the
+transposed gather.  The cache is tied to one point set; ``Plan.set_pts``
+rebuilds it, which is exactly the invalidation the paper's interface implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StencilCache", "build_stencil_cache", "DEFAULT_FUSE_BUDGET"]
+
+#: Maximum number of fused stencil entries (``M * w^d``) materialized by the
+#: cache; above this only the per-dimension arrays are kept.  32M entries is
+#: ~256 MB for the int64 indices plus ~256 MB for the float64 weights.
+DEFAULT_FUSE_BUDGET = 1 << 25
+
+try:  # pragma: no cover - exercised indirectly everywhere scipy exists
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - offline images always ship scipy
+    _sparse = None
+
+
+@dataclass
+class StencilCache:
+    """Precomputed per-point spreading geometry (see module docstring).
+
+    Attributes
+    ----------
+    fine_shape : tuple of int
+        Fine-grid dimensions the indices refer to.
+    width : int
+        Kernel width ``w``.
+    i0 : list of ndarray, each (M,)
+        Unwrapped first node per dimension (the SM spreader needs the
+        unwrapped value to localize points inside a padded bin).
+    idx : list of ndarray, each (M, w)
+        Wrapped node indices per dimension.
+    vals : list of ndarray, each (M, w)
+        Kernel values per dimension.
+    flat_idx : ndarray (M, w^d) or None
+        Fused wrapped flat indices (only when within budget and no sparse
+        operator was assembled -- the CSR matrix supersedes them, so keeping
+        both would hold the large int64 index array as dead memory).
+    weights : ndarray (M, w^d) or None
+        Fused tensor-product kernel values (same lifetime as ``flat_idx``;
+        when the sparse operator exists it owns this data as ``matrix.data``).
+    interp_matrix : scipy.sparse.csr_matrix (M, prod(fine_shape)) or None
+        Row ``j`` holds point ``j``'s stencil; ``interp_matrix @ grid`` is
+        interpolation and ``interp_matrix.T @ c`` is spreading.
+    kernel_eval : str
+        Which kernel evaluation built the values ("horner" or "exact").
+    """
+
+    fine_shape: tuple
+    width: int
+    i0: list
+    idx: list
+    vals: list
+    flat_idx: np.ndarray = None
+    weights: np.ndarray = None
+    interp_matrix: object = None
+    kernel_eval: str = "horner"
+
+    @property
+    def n_points(self):
+        return self.i0[0].shape[0]
+
+    @property
+    def ndim(self):
+        return len(self.fine_shape)
+
+    @property
+    def is_fused(self):
+        return self.flat_idx is not None or self.interp_matrix is not None
+
+    def nbytes(self):
+        """Host memory held by the cache (for reporting)."""
+        total = sum(a.nbytes for a in self.i0)
+        total += sum(a.nbytes for a in self.idx)
+        total += sum(a.nbytes for a in self.vals)
+        if self.flat_idx is not None:
+            total += self.flat_idx.nbytes + self.weights.nbytes
+        if self.interp_matrix is not None:
+            total += (self.interp_matrix.data.nbytes
+                      + self.interp_matrix.indices.nbytes
+                      + self.interp_matrix.indptr.nbytes)
+        return int(total)
+
+
+def _tensor_stencil(idx_per_dim, vals_per_dim, fine_shape):
+    """Fuse per-dimension stencils into flat indices and product weights.
+
+    Returns ``(flat_idx, weights)`` of shape ``(M, w^d)`` where ``flat_idx``
+    indexes the flattened fine grid and ``weights`` holds the separable kernel
+    tensor product.
+    """
+    ndim = len(fine_shape)
+    m = idx_per_dim[0].shape[0]
+    if ndim == 2:
+        n2 = fine_shape[1]
+        flat_idx = idx_per_dim[0][:, :, None] * n2 + idx_per_dim[1][:, None, :]
+        weights = vals_per_dim[0][:, :, None] * vals_per_dim[1][:, None, :]
+    else:
+        n2, n3 = fine_shape[1], fine_shape[2]
+        flat_idx = (
+            idx_per_dim[0][:, :, None, None] * (n2 * n3)
+            + idx_per_dim[1][:, None, :, None] * n3
+            + idx_per_dim[2][:, None, None, :]
+        )
+        weights = (
+            vals_per_dim[0][:, :, None, None]
+            * vals_per_dim[1][:, None, :, None]
+            * vals_per_dim[2][:, None, None, :]
+        )
+    return flat_idx.reshape(m, -1), weights.reshape(m, -1)
+
+
+def build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval="horner",
+                        fuse_budget=DEFAULT_FUSE_BUDGET, build_matrix=True):
+    """Build the stencil cache for one point set.
+
+    Parameters
+    ----------
+    grid_coords : sequence of ndarray
+        Per-dimension fine-grid coordinates in ``[0, n_d)``.
+    fine_shape : tuple of int
+    kernel : ESKernel or compatible
+        Must provide ``width`` and ``evaluate_offsets``; the Horner fast path
+        additionally needs ``evaluate_offsets_horner`` (ES kernel only) and
+        silently falls back to the exact form otherwise.
+    kernel_eval : {"horner", "exact"}
+    fuse_budget : int
+        Maximum fused entry count ``M * w^d`` (see :data:`DEFAULT_FUSE_BUDGET`).
+    build_matrix : bool
+        Whether to assemble the CSR operator (requires scipy and a fused cache).
+    """
+    if kernel_eval not in ("horner", "exact"):
+        raise ValueError(f"kernel_eval must be 'horner' or 'exact', got {kernel_eval!r}")
+    ndim = len(fine_shape)
+    w = kernel.width
+    use_horner = kernel_eval == "horner" and hasattr(kernel, "evaluate_offsets_horner")
+    offsets = np.arange(w, dtype=np.int64)
+
+    i0_list, idx_list, vals_list = [], [], []
+    for d in range(ndim):
+        g = np.asarray(grid_coords[d], dtype=np.float64)
+        i0 = np.ceil(g - 0.5 * w).astype(np.int64)
+        frac = g - i0
+        if use_horner:
+            vals = kernel.evaluate_offsets_horner(frac)
+        else:
+            vals = kernel.evaluate_offsets(frac)
+        i0_list.append(i0)
+        idx_list.append(np.mod(i0[:, None] + offsets[None, :], fine_shape[d]))
+        vals_list.append(vals)
+
+    m = i0_list[0].shape[0]
+    flat_idx = weights = matrix = None
+    if m * (w ** ndim) <= fuse_budget:
+        flat_idx, weights = _tensor_stencil(idx_list, vals_list, fine_shape)
+        if build_matrix and _sparse is not None:
+            n_fine = int(np.prod(fine_shape))
+            k = flat_idx.shape[1]
+            indptr = np.arange(0, (m + 1) * k, k, dtype=np.int64)
+            matrix = _sparse.csr_matrix(
+                (weights.reshape(-1), flat_idx.reshape(-1), indptr),
+                shape=(m, n_fine),
+            )
+            # The operator supersedes the fused arrays: every cached
+            # spread/interp goes through the matrix, and dropping the raw
+            # references frees the large int64 index array (scipy keeps its
+            # own, typically int32, copy) instead of holding it dead.
+            flat_idx = weights = None
+    return StencilCache(
+        fine_shape=tuple(int(n) for n in fine_shape),
+        width=int(w),
+        i0=i0_list,
+        idx=idx_list,
+        vals=vals_list,
+        flat_idx=flat_idx,
+        weights=weights,
+        interp_matrix=matrix,
+        kernel_eval="horner" if use_horner else "exact",
+    )

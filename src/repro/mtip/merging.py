@@ -30,17 +30,28 @@ class MergingOperator:
     """Reusable merging operator: one plan shared by the two type-1 NUFFTs."""
 
     def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double"):
+        self.n_modes = tuple(int(n) for n in n_modes)
+        self.plan = Plan(1, self.n_modes, eps=eps, precision=precision, device=device)
+        self.n_points = 0
+        self._weights = None
+        self._taper = self._build_taper()
+        self.set_points(slice_points)
+
+    def set_points(self, slice_points):
+        """Re-point the operator at a new slice-point set, keeping the plan.
+
+        The cached sampling density is invalidated alongside the plan's
+        stencil cache (it depends on the same points).
+        """
         slice_points = np.asarray(slice_points, dtype=np.float64)
         if slice_points.ndim != 2 or slice_points.shape[1] != 3:
             raise ValueError(
                 f"slice_points must have shape (M, 3), got {slice_points.shape}"
             )
-        self.n_modes = tuple(int(n) for n in n_modes)
         self.n_points = slice_points.shape[0]
-        self.plan = Plan(1, self.n_modes, eps=eps, precision=precision, device=device)
         self.plan.set_pts(slice_points[:, 0], slice_points[:, 1], slice_points[:, 2])
         self._weights = None
-        self._taper = self._build_taper()
+        return self
 
     def _build_taper(self, width_modes=1.0):
         """Real-space Gaussian envelope implementing the Fourier-space smoothing.

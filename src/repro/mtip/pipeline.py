@@ -76,6 +76,14 @@ class MTIPReconstruction:
         self._build_ground_truth()
         self._simulate_measurements()
         self.history = []
+        # Reusable NUFFT operators: the plans (kernel, fine grid, correction
+        # factors, device buffers) survive across iterations; only set_pts --
+        # the bin sort and stencil cache -- reruns when the candidate or
+        # assigned orientations move the slice points.  This is exactly the
+        # plan/setpts/execute amortization the paper's Sec. V-A interface is
+        # designed for.
+        self._slicer = None
+        self._merger = None
 
     # ------------------------------------------------------------------ #
     # experiment synthesis
@@ -117,6 +125,50 @@ class MTIPReconstruction:
         decoys = random_rotations(max(1, cfg.n_candidates - cfg.n_images), rng=self.rng)
         return np.concatenate([self.true_rotations, decoys], axis=0)
 
+    def _get_slicer(self, points):
+        cfg = self.config
+        if self._slicer is None:
+            self._slicer = SlicingOperator(
+                (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
+                precision=cfg.precision,
+            )
+        else:
+            self._slicer.set_points(points)
+        return self._slicer
+
+    def _get_merger(self, points):
+        cfg = self.config
+        if self._merger is None:
+            self._merger = MergingOperator(
+                (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
+                precision=cfg.precision,
+            )
+        else:
+            self._merger.set_points(points)
+        return self._merger
+
+    def close(self):
+        """Release the reusable NUFFT operators (their simulated GPU buffers)."""
+        if self._slicer is not None:
+            self._slicer.destroy()
+            self._slicer = None
+        if self._merger is not None:
+            self._merger.destroy()
+            self._merger = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - defensive cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def run_iteration(self, model_modes, iteration_index=0):
         """Run one M-TIP iteration from the current Fourier model.
 
@@ -124,7 +176,6 @@ class MTIPReconstruction:
         :class:`MTIPIterationRecord`.
         """
         cfg = self.config
-        n_modes3 = (cfg.n_modes,) * 3
         nufft_seconds = {}
 
         # --- step i: slicing at candidate orientations ---------------------
@@ -132,11 +183,9 @@ class MTIPReconstruction:
         candidate_points = ewald_slice_points(
             candidates, cfg.n_pix, q_max=cfg.q_max, curvature=cfg.curvature
         )
-        slicer = SlicingOperator(n_modes3, candidate_points, eps=cfg.eps,
-                                 device=self.device, precision=cfg.precision)
+        slicer = self._get_slicer(candidate_points)
         candidate_values = slicer(model_modes).reshape(candidates.shape[0], -1)
         nufft_seconds["slicing"] = slicer.nufft_seconds()["total"]
-        slicer.destroy()
         candidate_intensities = np.abs(candidate_values) ** 2
 
         # --- step ii: orientation matching ---------------------------------
@@ -152,11 +201,9 @@ class MTIPReconstruction:
         # Complex slice estimates: measured magnitudes with the model's phases.
         model_phases = np.exp(1j * np.angle(candidate_values[assignment]))
         slice_values = (self.measured_magnitudes * model_phases).reshape(-1)
-        merger = MergingOperator(n_modes3, merge_points, eps=cfg.eps,
-                                 device=self.device, precision=cfg.precision)
+        merger = self._get_merger(merge_points)
         merged = merger(slice_values)
         nufft_seconds["merging"] = merger.nufft_seconds()["total"]
-        merger.destroy()
 
         # --- step iv: phasing ------------------------------------------------
         density = phase_retrieval(
@@ -189,10 +236,8 @@ class MTIPReconstruction:
             init_points = ewald_slice_points(
                 init_rot, cfg.n_pix, q_max=cfg.q_max, curvature=cfg.curvature
             )
-            merger = MergingOperator((cfg.n_modes,) * 3, init_points, eps=cfg.eps,
-                                     device=self.device, precision=cfg.precision)
+            merger = self._get_merger(init_points)
             model_modes = merger(self.measured_magnitudes.reshape(-1).astype(np.complex128))
-            merger.destroy()
         else:
             model_modes = np.asarray(initial_modes, dtype=np.complex128)
 

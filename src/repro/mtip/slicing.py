@@ -50,17 +50,29 @@ class SlicingOperator:
     """
 
     def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double"):
+        self.n_modes = tuple(int(n) for n in n_modes)
+        self.plan = Plan(2, self.n_modes, eps=eps, precision=precision, device=device)
+        self.n_points = 0
+        self.set_points(slice_points)
+
+    def set_points(self, slice_points):
+        """Re-point the operator at a new slice-point set, keeping the plan.
+
+        This is the cuFINUFFT ``setpts`` amortization applied to M-TIP: the
+        plan (kernel, fine grid, correction factors, FFT plan) survives across
+        solver iterations, and only the bin sort + stencil cache are redone
+        when the assigned orientations move the slice points.
+        """
         slice_points = np.asarray(slice_points, dtype=np.float64)
         if slice_points.ndim != 2 or slice_points.shape[1] != 3:
             raise ValueError(
                 f"slice_points must have shape (M, 3), got {slice_points.shape}"
             )
-        self.n_modes = tuple(int(n) for n in n_modes)
         self.n_points = slice_points.shape[0]
-        self.plan = Plan(2, self.n_modes, eps=eps, precision=precision, device=device)
         # Points are negated: the type-2 NUFFT uses exp(+i k x) while the
         # forward (physics) transform uses exp(-i m q); see the module notes.
         self.plan.set_pts(-slice_points[:, 0], -slice_points[:, 1], -slice_points[:, 2])
+        return self
 
     def __call__(self, fourier_model):
         """Evaluate the model's continuous transform at every slice point.
