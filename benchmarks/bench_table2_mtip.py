@@ -9,7 +9,7 @@ on Summit -- the per-rank time is unchanged under ideal weak scaling while the
 CPU must process the whole node's data).
 """
 
-from benchmarks.common import emit, library_times, stats_for
+from benchmarks.common import emit, stats_for
 from repro.baselines.finufft_cpu import CPUCostConstants, FinufftCPU
 from repro.cluster import CORI_GPU_NODE, SUMMIT_NODE
 from repro.metrics import model_cufinufft

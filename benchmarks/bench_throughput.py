@@ -1,19 +1,21 @@
-"""Wall-clock throughput benchmark of the batched execution engine.
+"""Wall-clock throughput benchmark of the execution-backend layer.
 
 Unlike the Fig./Table benchmarks (which report *modelled* V100 times), this
-module times the actual numpy implementation: spread-only, interpolation-only
-and full type-1/type-2 ``execute`` calls, single-transform and batched
-(``n_trans = 8``), on 2D and 3D workloads.
+module times the actual numpy implementation through each registered
+execution backend:
 
-Each workload is run twice -- once with the default batched engine
-(plan-level stencil cache + fused ``n_trans`` pass + Horner kernel) and once
-with ``cache_stencils=False, kernel_eval="exact"``, which reproduces the seed
-implementation's per-transform loop -- so the reported speedup tracks the
-perf trajectory of the repository itself across PRs.
+* ``reference`` -- the seed implementation's per-transform loop with exact
+  kernel evaluation (the baseline every speedup is measured against),
+* ``cached``    -- the fused stencil-cache / CSR fast path,
+* ``device_sim`` -- cached numerics plus the simulated-GPU cost profiles,
+
+on 1D/2D/3D type-1 and type-2 workloads plus 1D/2D type-3 (nonuniform ->
+nonuniform) compositions, single-transform and batched (``n_trans = 8``).
 
 Results are printed as a table and written to ``BENCH_throughput.json`` at
 the repository root.  ``REPRO_BENCH_SAMPLE`` scales the number of nonuniform
-points (default 2^16); the CI smoke run uses 4096.
+points (default 2^16); ``--quick`` selects the CI smoke configuration
+(2^14 = 16384 points) whose geomean batched type-1 speedup is gated at 5x.
 """
 
 from __future__ import annotations
@@ -31,14 +33,20 @@ if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_throughput.py`
 
 from benchmarks.common import emit  # noqa: E402
 from repro import Plan  # noqa: E402
+
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 
-#: Legacy options reproducing the seed implementation (the baseline).
-LEGACY = dict(cache_stencils=False, kernel_eval="exact")
+#: Backend sweep order; "reference" reproduces the seed implementation
+#: (exact kernel evaluation, per-transform loop) and is the speedup baseline.
+BACKENDS = ("reference", "cached", "device_sim")
+
+#: Point count of the --quick (CI smoke) configuration.
+QUICK_SAMPLE = 1 << 14
 
 
-def _sample_points():
-    return int(os.environ.get("REPRO_BENCH_SAMPLE", 1 << 16))
+def _sample_points(quick=False):
+    default = QUICK_SAMPLE if quick else 1 << 16
+    return int(os.environ.get("REPRO_BENCH_SAMPLE", default))
 
 
 def _best_of(fn, repeats):
@@ -51,7 +59,7 @@ def _best_of(fn, repeats):
 
 
 def _make_data(rng, nufft_type, n_modes, m, n_trans):
-    if nufft_type == 1:
+    if nufft_type in (1, 3):
         block = rng.standard_normal((n_trans, m)) + 1j * rng.standard_normal((n_trans, m))
     else:
         shape = (n_trans,) + tuple(n_modes)
@@ -59,26 +67,40 @@ def _make_data(rng, nufft_type, n_modes, m, n_trans):
     return block if n_trans > 1 else block[0]
 
 
+def _backend_opts(backend):
+    # The reference backend replays the seed path: exact kernel evaluation.
+    if backend == "reference":
+        return dict(backend=backend, kernel_eval="exact")
+    return dict(backend=backend)
+
+
 def run_workload(name, nufft_type, n_modes, m, eps, n_trans, rng, repeats=3):
-    """Time one configuration with the batched engine and the seed baseline."""
+    """Time one configuration through every execution backend."""
     ndim = len(n_modes)
     coords = [rng.uniform(-np.pi, np.pi, m) for _ in range(ndim)]
+    target_kw = {}
+    if nufft_type == 3:
+        targets = [rng.uniform(-0.5 * n_modes[d], 0.5 * n_modes[d], m)
+                   for d in range(ndim)]
+        target_kw = dict(zip(("s", "t", "u"), targets))
     data = _make_data(rng, nufft_type, n_modes, m, n_trans)
 
-    plan = Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps)
-    t0 = time.perf_counter()
-    plan.set_pts(*coords)
-    setup_s = time.perf_counter() - t0
-    plan.execute(data)  # warm-up (imports, Horner coefficient fit, fft wisdom)
-    cached_s = _best_of(lambda: plan.execute(data), repeats)
-    plan.destroy()
+    backend_exec_s = {}
+    setup_s = {}
+    plan_modes = ndim if nufft_type == 3 else n_modes
+    for backend in BACKENDS:
+        reps = repeats if backend != "reference" else max(1, repeats - 1)
+        plan = Plan(nufft_type, plan_modes, n_trans=n_trans, eps=eps,
+                    **_backend_opts(backend))
+        t0 = time.perf_counter()
+        plan.set_pts(*coords, **target_kw)
+        setup_s[backend] = time.perf_counter() - t0
+        plan.execute(data)  # warm-up (imports, Horner coefficient fit, wisdom)
+        backend_exec_s[backend] = _best_of(lambda: plan.execute(data), reps)
+        plan.destroy()
 
-    legacy = Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps, **LEGACY)
-    legacy.set_pts(*coords)
-    legacy.execute(data)  # warm-up
-    legacy_s = _best_of(lambda: legacy.execute(data), max(1, repeats - 1))
-    legacy.destroy()
-
+    cached_s = backend_exec_s["cached"]
+    legacy_s = backend_exec_s["reference"]
     return {
         "name": name,
         "nufft_type": nufft_type,
@@ -86,21 +108,28 @@ def run_workload(name, nufft_type, n_modes, m, eps, n_trans, rng, repeats=3):
         "n_points": m,
         "eps": eps,
         "n_trans": n_trans,
-        "setup_s": setup_s,
+        "setup_s": setup_s["cached"],
+        "backend_exec_s": backend_exec_s,
         "cached_exec_s": cached_s,
         "legacy_exec_s": legacy_s,
         "speedup": legacy_s / cached_s if cached_s > 0 else float("inf"),
     }
 
 
-def run_throughput(repeats=3):
-    m = _sample_points()
+def run_throughput(repeats=3, quick=False):
+    m = _sample_points(quick)
     rng = np.random.default_rng(0)
     configs = [
+        # 1D modes kept well below M so the workload stays spread-dominated
+        # (a paper-style density rho ~ 4) rather than FFT-bound.
+        ("1d_type1", 1, (2048,), m, 1e-6),
+        ("1d_type2", 2, (2048,), m, 1e-6),
         ("2d_type1", 1, (128, 128), m, 1e-6),
         ("2d_type2", 2, (128, 128), m, 1e-6),
         ("3d_type1", 1, (32, 32, 32), max(1024, m // 2), 1e-6),
         ("3d_type2", 2, (32, 32, 32), max(1024, m // 2), 1e-6),
+        ("1d_type3", 3, (64,), m, 1e-6),
+        ("2d_type3", 3, (48, 48), max(1024, m // 2), 1e-6),
     ]
     records = []
     for name, nufft_type, n_modes, points, eps in configs:
@@ -112,38 +141,47 @@ def run_throughput(repeats=3):
 
     batched = [r for r in records if r["n_trans"] == 8]
     batched_t1 = [r for r in batched if r["nufft_type"] == 1]
+
+    def geomean(values):
+        return float(np.exp(np.mean([np.log(v) for v in values])))
+
     summary = {
         "sample_points": m,
+        "quick": quick,
+        "backends": list(BACKENDS),
         "workloads": records,
         "min_speedup_ntrans8": min(r["speedup"] for r in batched),
         # Type-1 workloads are spread-dominated at any scale; type-2 becomes
         # FFT-bound at small smoke sizes (the FFT is unchanged by the batched
-        # engine), so CI gates on the type-1 minimum.
+        # engine), so CI gates on the type-1 numbers.
         "min_speedup_ntrans8_type1": min(r["speedup"] for r in batched_t1),
-        "geomean_speedup_ntrans8": float(
-            np.exp(np.mean([np.log(r["speedup"]) for r in batched]))
-        ),
+        "geomean_speedup_ntrans8": geomean([r["speedup"] for r in batched]),
+        "geomean_speedup_ntrans8_type1": geomean([r["speedup"] for r in batched_t1]),
     }
     with open(JSON_PATH, "w") as fh:
         json.dump(summary, fh, indent=2)
 
     rows = [
         [r["name"], r["n_trans"], r["n_points"], 1e3 * r["setup_s"],
-         1e3 * r["cached_exec_s"], 1e3 * r["legacy_exec_s"], r["speedup"]]
+         1e3 * r["backend_exec_s"]["cached"],
+         1e3 * r["backend_exec_s"]["device_sim"],
+         1e3 * r["backend_exec_s"]["reference"], r["speedup"]]
         for r in records
     ]
     emit(
         "throughput",
-        f"Wall-clock throughput (M={m}, batched engine vs seed loop)",
-        ["workload", "n_trans", "M", "setup ms", "cached ms", "seed ms", "speedup"],
+        f"Wall-clock throughput (M={m}, execution backends vs seed reference loop)",
+        ["workload", "n_trans", "M", "setup ms", "cached ms", "device_sim ms",
+         "reference ms", "speedup"],
         rows,
     )
     print(f"\nwrote {JSON_PATH}")
     print(f"min n_trans=8 speedup: {summary['min_speedup_ntrans8']:.2f}x "
           f"(type-1 only: {summary['min_speedup_ntrans8_type1']:.2f}x), "
-          f"geomean: {summary['geomean_speedup_ntrans8']:.2f}x")
+          f"geomean: {summary['geomean_speedup_ntrans8']:.2f}x "
+          f"(type-1 only: {summary['geomean_speedup_ntrans8_type1']:.2f}x)")
     return summary
 
 
 if __name__ == "__main__":
-    run_throughput()
+    run_throughput(quick="--quick" in sys.argv[1:])

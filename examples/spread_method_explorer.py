@@ -8,9 +8,11 @@ point clustering, accuracy and grid size on each method can be inspected.
 
 Usage::
 
-    python examples/spread_method_explorer.py [n_fine] [distribution] [eps]
+    python examples/spread_method_explorer.py [n_fine] [distribution] [eps] [backend]
 
-e.g. ``python examples/spread_method_explorer.py 1024 cluster 1e-5``.
+e.g. ``python examples/spread_method_explorer.py 1024 cluster 1e-5 device_sim``.
+The modelled timing breakdown needs the (default) ``device_sim`` backend;
+``reference`` / ``cached`` run the same numerics without cost profiles.
 """
 
 import sys
@@ -21,12 +23,12 @@ from repro import Plan, relative_l2_error
 from repro.workloads import make_distribution, strengths
 
 
-def explore(n_fine=512, distribution="rand", eps=1e-5):
+def explore(n_fine=512, distribution="rand", eps=1e-5, backend="device_sim"):
     n_modes = (n_fine // 2, n_fine // 2)
     fine_shape = (n_fine, n_fine)
     m = n_fine * n_fine  # density rho = 1
     print(f"2D type 1, N={n_modes[0]}^2 modes, fine grid {n_fine}^2, "
-          f"M={m} '{distribution}' points, eps={eps:g}\n")
+          f"M={m} '{distribution}' points, eps={eps:g}, backend={backend}\n")
 
     coords = make_distribution(distribution, m, 2, fine_shape=fine_shape, rng=0)
     c = strengths(m, rng=1, dtype=np.complex64)
@@ -34,9 +36,14 @@ def explore(n_fine=512, distribution="rand", eps=1e-5):
     grids = {}
     for method in ("GM", "GM-sort", "SM"):
         plan = Plan(1, n_modes, eps=eps, method=method, precision="single",
-                    spread_only=True)
+                    spread_only=True, backend=backend)
         plan.set_pts(*coords)
         grids[method] = plan.execute(c)
+        if not plan.backend.records_profiles:
+            print(f"{method:8s}: numerics only (backend {plan.backend.name} "
+                  f"records no modelled timings)")
+            plan.destroy()
+            continue
         t = plan.timings()
         print(f"{method:8s}: spread {plan.ns_per_point('exec'):7.2f} ns/pt   "
               f"with sort {plan.ns_per_point('total'):7.2f} ns/pt   "
@@ -60,7 +67,8 @@ def main():
     n_fine = int(sys.argv[1]) if len(sys.argv) > 1 else 512
     distribution = sys.argv[2] if len(sys.argv) > 2 else "rand"
     eps = float(sys.argv[3]) if len(sys.argv) > 3 else 1e-5
-    explore(n_fine, distribution, eps)
+    backend = sys.argv[4] if len(sys.argv) > 4 else "device_sim"
+    explore(n_fine, distribution, eps, backend)
 
 
 if __name__ == "__main__":

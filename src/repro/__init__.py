@@ -1,8 +1,10 @@
 """repro: reproduction of cuFINUFFT (IPDPS 2021) on a simulated CUDA substrate.
 
 The package implements the paper's general-purpose GPU nonuniform FFT library
-(types 1 and 2, dimensions 2 and 3, single/double precision) with the GM,
-GM-sort and SM spreading strategies, together with every substrate the
+(types 1, 2 and 3; dimensions 1, 2 and 3; single/double precision) with the
+GM, GM-sort and SM spreading strategies and a pluggable execution-backend
+layer (exact ``reference`` numerics, the fused ``cached`` fast path, and the
+profiled ``device_sim`` default), together with every substrate the
 evaluation depends on: a simulated V100 device and cost model, CPU/GPU
 baseline libraries (FINUFFT, CUNFFT, gpuNUFFT analogues), a simulated
 multi-GPU MPI cluster, and the M-TIP X-ray reconstruction application.
@@ -21,6 +23,7 @@ Quickstart
 >>> f = plan.execute(c)        # (64, 64) Fourier coefficients
 """
 
+from .backends import available_backends, get_backend, register_backend
 from .core import (
     Opts,
     Plan,
@@ -29,26 +32,41 @@ from .core import (
     max_abs_error,
     nudft_type1,
     nudft_type2,
+    nudft_type3,
+    nufft1d1,
+    nufft1d2,
+    nufft1d3,
     nufft2d1,
     nufft2d2,
+    nufft2d3,
     nufft3d1,
     nufft3d2,
+    nufft3d3,
     relative_l2_error,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Plan",
     "Opts",
     "Precision",
     "SpreadMethod",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "nufft1d1",
+    "nufft1d2",
+    "nufft1d3",
     "nufft2d1",
     "nufft2d2",
+    "nufft2d3",
     "nufft3d1",
     "nufft3d2",
+    "nufft3d3",
     "nudft_type1",
     "nudft_type2",
+    "nudft_type3",
     "relative_l2_error",
     "max_abs_error",
     "__version__",

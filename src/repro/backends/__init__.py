@@ -1,0 +1,31 @@
+"""Pluggable execution backends for the transform stage pipeline.
+
+See :mod:`repro.backends.base` for the protocol and registry.  The three
+built-in backends (``reference``, ``cached``, ``device_sim``) are registered
+on import; select one per plan via ``Opts.backend`` / the ``backend=`` keyword
+of :class:`repro.core.plan.Plan`.
+"""
+
+from .base import (
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .cached import CachedBackend
+from .device_sim import DeviceSimBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "CachedBackend",
+    "DeviceSimBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+register_backend(ReferenceBackend.name, ReferenceBackend)
+register_backend(CachedBackend.name, CachedBackend)
+register_backend(DeviceSimBackend.name, DeviceSimBackend)

@@ -1,0 +1,121 @@
+"""Execution-backend protocol and registry.
+
+A :class:`repro.core.plan.Plan` no longer hard-wires how its pipeline stages
+run: ``execute`` is an explicit stage pipeline (spread -> FFT -> deconvolve
+for type 1, its transpose for type 2, and the type-2∘scale∘type-1 composition
+for type 3) where every stage is dispatched through an
+:class:`ExecutionBackend`.  Three backends ship with the library:
+
+``reference``
+    Exact dense numpy numerics: the seed implementation's per-transform loop
+    with on-the-fly (exact) kernel evaluation and no stencil cache.  Slow but
+    dependency-free ground truth for the other backends.
+``cached``
+    The fast path: plan-level stencil cache, fused ``n_trans`` passes and the
+    CSR sparse spread/interp operator.  Pure numerics -- no simulated-GPU
+    profiling overhead.
+``device_sim``
+    Wraps the numerics of ``cached`` (or ``reference`` when the stencil cache
+    is disabled) and routes every stage through the simulated GPU kernel
+    profiles, so the paper's cost-model timings (``exec`` / ``total`` /
+    ``total+mem``) stay attached to each execute call.  This is the default.
+
+The registry mirrors :mod:`repro.baselines.registry`: backends are selected
+by name (``Opts.backend``) and new ones can be plugged in with
+:func:`register_backend` -- the seam later real-GPU or distributed backends
+slot into.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class ExecutionBackend:
+    """Protocol for one execution strategy of the transform stages.
+
+    Every stage receives the owning :class:`~repro.core.plan.Plan` (which
+    carries the geometry: kernel, fine grid, bin sort, stencil cache,
+    correction factors), the batched data block, and the
+    :class:`~repro.gpu.profiler.PipelineProfile` of the current execute call
+    (ignored by backends that do not record profiles).
+
+    Data contracts (``B = n_trans`` leading axis, always present):
+
+    * ``spread``:      ``(B, M)`` strengths      -> ``(B, *fine_shape)`` grid
+    * ``fft_forward``: ``(B, *fine_shape)``      -> same, complex128
+    * ``deconvolve``:  ``(B, *fine_shape)`` FFT  -> ``(B, *n_modes)`` modes
+    * ``precorrect``:  ``(B, *n_modes)`` modes   -> ``(B, *fine_shape)`` grid
+    * ``fft_inverse``: ``(B, *fine_shape)``      -> same, complex128
+    * ``interp``:      ``(B, *fine_shape)`` grid -> ``(B, M)`` values
+    """
+
+    #: Registry name of the backend.
+    name = "abstract"
+    #: Whether this backend records simulated-GPU kernel profiles into the
+    #: execute pipeline (drives ``Plan.timings`` / ``spread_fraction``).
+    records_profiles = False
+
+    def wants_stencil_cache(self, opts):
+        """Whether ``Plan.set_pts`` should precompute the stencil cache."""
+        return bool(opts.cache_stencils)
+
+    # Stage hooks -------------------------------------------------------- #
+    def spread(self, plan, strengths, pipeline):
+        raise NotImplementedError
+
+    def fft_forward(self, plan, fine, pipeline):
+        raise NotImplementedError
+
+    def fft_inverse(self, plan, fine, pipeline):
+        raise NotImplementedError
+
+    def deconvolve(self, plan, fine_hat, pipeline):
+        raise NotImplementedError
+
+    def precorrect(self, plan, modes, pipeline):
+        raise NotImplementedError
+
+    def interp(self, plan, fine, pipeline):
+        raise NotImplementedError
+
+
+_FACTORIES = {}
+_INSTANCES = {}
+
+
+def register_backend(name, factory):
+    """Register an execution backend factory under ``name``.
+
+    ``factory`` is called with no arguments and must return an
+    :class:`ExecutionBackend`.  Re-registering a name replaces the previous
+    factory (and drops its cached instance), so tests can shadow a backend.
+    """
+    key = str(name).strip().lower()
+    if not key:
+        raise ValueError("backend name must be a non-empty string")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def available_backends():
+    """Names accepted by :func:`get_backend`, in registration order."""
+    return list(_FACTORIES.keys())
+
+
+def get_backend(name):
+    """Resolve a backend name to its (shared, stateless) instance."""
+    key = str(name).strip().lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown execution backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]

@@ -1,0 +1,117 @@
+"""Device-sim backend: real numerics plus simulated-GPU kernel profiles.
+
+Numerically this backend delegates to the ``cached`` fast path (or to the
+``reference`` per-transform loop when the plan carries no stencil cache, i.e.
+``cache_stencils=False``), then attaches the per-stage
+:class:`~repro.gpu.profiler.KernelProfile` records the paper's cost model
+prices: method-specific spread/interp kernels, the cuFFT launches (recorded by
+:class:`~repro.gpu.fft.DeviceFFT`), and the deconvolution passes.  Plans on
+this backend therefore report the paper's three timings (``exec``, ``total``,
+``total+mem``) after every execute -- it is the default backend.
+
+The module-level :func:`spread_stage_profiles` / :func:`interp_stage_profiles`
+helpers are the single dispatch point from a spreading *method* to its kernel
+profiles; :mod:`repro.metrics.modeling` builds its paper-scale estimates
+through the same functions, so modelled benchmarks and executed plans can
+never disagree about what a method costs.
+"""
+
+from __future__ import annotations
+
+from ..core.deconvolve import deconvolve_kernel_profile
+from ..core.interp import interp_kernel_profiles
+from ..core.options import SpreadMethod
+from ..core.spread import spread_kernel_profiles, spread_sm_kernel_profiles
+from .base import ExecutionBackend, get_backend
+
+__all__ = ["DeviceSimBackend", "spread_stage_profiles", "interp_stage_profiles"]
+
+
+def spread_stage_profiles(method, sort, kernel, precision, threads_per_block=128,
+                          spec=None, subproblems=None):
+    """Kernel profiles of one spreading pass for the given method.
+
+    ``sort`` may be a :class:`~repro.core.binsort.BinSort` or a
+    :class:`~repro.core.binsort.SpreadStats` (the paper-scale modelling path);
+    ``subproblems`` supplies the SM decomposition when the caller already has
+    one (a Plan, or an estimated count from a scaled histogram).
+    """
+    method = SpreadMethod.parse(method)
+    if method is SpreadMethod.SM and subproblems is not None:
+        return spread_sm_kernel_profiles(
+            sort, kernel, precision, subproblems, threads_per_block, spec
+        )
+    return spread_kernel_profiles(
+        method, sort, kernel, precision, threads_per_block, spec
+    )
+
+
+def interp_stage_profiles(method, sort, kernel, precision, threads_per_block=128,
+                          spec=None):
+    """Kernel profiles of one interpolation pass (SM falls back to GM-sort)."""
+    return interp_kernel_profiles(
+        method, sort, kernel, precision, threads_per_block, spec
+    )
+
+
+class DeviceSimBackend(ExecutionBackend):
+    """Profiled execution on the simulated device; see module docstring."""
+
+    name = "device_sim"
+    records_profiles = True
+
+    @staticmethod
+    def _numerics(plan):
+        """Numeric engine: cached fast path when a stencil cache exists."""
+        return get_backend("cached" if plan._stencil is not None else "reference")
+
+    @staticmethod
+    def _add_per_transform(pipeline, profiles, n_trans):
+        for _ in range(n_trans):
+            for prof in profiles:
+                pipeline.add_kernel(prof, phase="exec")
+
+    # ------------------------------------------------------------------ #
+    def spread(self, plan, strengths, pipeline):
+        fine = self._numerics(plan).spread(plan, strengths, pipeline)
+        subproblems = (
+            plan._ensure_subproblems() if plan.method is SpreadMethod.SM else None
+        )
+        profiles = spread_stage_profiles(
+            plan.method, plan._sort, plan.kernel, plan.precision,
+            plan.opts.threads_per_block, plan.device.spec, subproblems=subproblems,
+        )
+        self._add_per_transform(pipeline, profiles, strengths.shape[0])
+        return fine
+
+    def fft_forward(self, plan, fine, pipeline):
+        # DeviceFFT records one cufft profile per batch element by itself.
+        return self._numerics(plan).fft_forward(plan, fine, pipeline)
+
+    def fft_inverse(self, plan, fine, pipeline):
+        return self._numerics(plan).fft_inverse(plan, fine, pipeline)
+
+    def deconvolve(self, plan, fine_hat, pipeline):
+        modes = self._numerics(plan).deconvolve(plan, fine_hat, pipeline)
+        profile = deconvolve_kernel_profile(
+            plan.n_modes, plan.precision.complex_itemsize
+        )
+        self._add_per_transform(pipeline, [profile], fine_hat.shape[0])
+        return modes
+
+    def precorrect(self, plan, modes, pipeline):
+        fine = self._numerics(plan).precorrect(plan, modes, pipeline)
+        profile = deconvolve_kernel_profile(
+            plan.n_modes, plan.precision.complex_itemsize, name="precorrect"
+        )
+        self._add_per_transform(pipeline, [profile], modes.shape[0])
+        return fine
+
+    def interp(self, plan, fine, pipeline):
+        result = self._numerics(plan).interp(plan, fine, pipeline)
+        profiles = interp_stage_profiles(
+            plan.interp_method, plan._sort, plan.kernel, plan.precision,
+            plan.opts.threads_per_block, plan.device.spec,
+        )
+        self._add_per_transform(pipeline, profiles, fine.shape[0])
+        return result

@@ -1,0 +1,82 @@
+"""Reference backend: exact dense numpy numerics, one transform at a time.
+
+This is the seed implementation's execution strategy (the ``cache_stencils=
+False, kernel_eval="exact"`` path of earlier revisions): every stage loops
+over the ``n_trans`` transforms, kernels are evaluated on the fly through the
+exact ``exp(beta*(sqrt(1-z^2)-1))`` form (no plan-level stencil cache), and no
+simulated-GPU profiles are recorded.  It is the ground truth the ``cached``
+and ``device_sim`` backends are validated against, and the baseline the
+throughput benchmark measures speedups from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interp import interpolate
+from ..core.options import SpreadMethod
+from ..core.spread import spread_gm, spread_gm_sort, spread_sm
+from .base import ExecutionBackend
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(ExecutionBackend):
+    """Per-transform exact numerics; see module docstring."""
+
+    name = "reference"
+    records_profiles = False
+
+    def wants_stencil_cache(self, opts):
+        return False
+
+    # ------------------------------------------------------------------ #
+    def _spread_one(self, plan, strengths):
+        cplx = plan.precision.complex_dtype
+        if plan.method is SpreadMethod.GM:
+            return spread_gm(plan.fine_shape, plan._grid_coords, strengths,
+                             plan.kernel, cplx)
+        if plan.method is SpreadMethod.GM_SORT:
+            return spread_gm_sort(plan.fine_shape, plan._grid_coords, strengths,
+                                  plan.kernel, plan._sort, cplx)
+        return spread_sm(plan.fine_shape, plan._grid_coords, strengths,
+                         plan.kernel, plan._sort, plan._ensure_subproblems(), cplx)
+
+    def spread(self, plan, strengths, pipeline):
+        return np.stack([
+            self._spread_one(plan, strengths[t]) for t in range(strengths.shape[0])
+        ])
+
+    def fft_forward(self, plan, fine, pipeline):
+        return np.stack([
+            plan._fft.forward(fine[t].astype(np.complex128, copy=False))
+            for t in range(fine.shape[0])
+        ])
+
+    def fft_inverse(self, plan, fine, pipeline):
+        return np.stack([
+            plan._fft.inverse(fine[t].astype(np.complex128, copy=False))
+            for t in range(fine.shape[0])
+        ])
+
+    def deconvolve(self, plan, fine_hat, pipeline):
+        cplx = plan.precision.complex_dtype
+        return np.stack([
+            plan.correction.truncate_and_scale(fine_hat[t], dtype=cplx)
+            for t in range(fine_hat.shape[0])
+        ])
+
+    def precorrect(self, plan, modes, pipeline):
+        return np.stack([
+            plan.correction.pad_and_scale(modes[t], dtype=np.complex128)
+            for t in range(modes.shape[0])
+        ])
+
+    def interp(self, plan, fine, pipeline):
+        cplx = plan.precision.complex_dtype
+        method = plan.interp_method
+        return np.stack([
+            interpolate(fine[t], plan._grid_coords, plan.kernel, method,
+                        plan._sort, cplx)
+            for t in range(fine.shape[0])
+        ])

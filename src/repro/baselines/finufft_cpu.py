@@ -28,7 +28,6 @@ from ..core.options import Precision
 from ..core.spread import spread_gm_sort
 from ..kernels.es_kernel import ESKernel
 from ..metrics.modeling import ModelResult
-from ..metrics.timing import ns_per_point
 
 __all__ = ["FinufftCPU", "CPUCostConstants"]
 

@@ -32,22 +32,29 @@ class CufinufftAdapter:
     method : str
         Spreading method shown in the figure legends: ``"SM"`` or
         ``"GM-sort"`` (``"GM"`` is also accepted for the Fig. 2/3 baselines).
+    backend : str
+        Execution backend (see :mod:`repro.backends`) used both by
+        :meth:`make_plan` and (resolved) by :meth:`model_times`; the default
+        ``"device_sim"`` keeps the modelled timings attached.
     """
 
     device_kind = "gpu"
 
-    def __init__(self, method="SM"):
+    def __init__(self, method="SM", backend="device_sim"):
         self.method = SpreadMethod.parse(method)
+        self.backend = str(backend)
         self.name = f"cufinufft ({self.method.value})"
 
     def supports(self, nufft_type, ndim, precision, eps):
-        """SM is unavailable for 3D double precision (paper Remark 2)."""
+        """Capability matrix; SM is unavailable for 3D double precision
+        (paper Remark 2).  Types 1-3 in dimensions 1-3 are covered; a type-3
+        transform spreads like type 1, so it inherits the same constraint."""
         precision = Precision.parse(precision)
-        if nufft_type not in (1, 2) or ndim not in (2, 3):
+        if nufft_type not in (1, 2, 3) or ndim not in (1, 2, 3):
             return False
         if (
             self.method is SpreadMethod.SM
-            and nufft_type == 1
+            and nufft_type in (1, 3)
             and ndim == 3
             and precision is Precision.DOUBLE
         ):
@@ -62,7 +69,18 @@ class CufinufftAdapter:
         floor = 1e-7 if precision is Precision.SINGLE else 1e-14
         return max(ESKernel.from_tolerance(eps).estimated_error(), floor)
 
+    def make_plan(self, nufft_type, n_modes, **kwargs):
+        """Build a :class:`~repro.core.plan.Plan` preconfigured with this
+        adapter's spreading method and execution backend, for callers that
+        want real numerics from a figure-legend library name."""
+        from ..core.plan import Plan
+
+        kwargs.setdefault("method", self.method)
+        kwargs.setdefault("backend", self.backend)
+        return Plan(nufft_type, n_modes, **kwargs)
+
     def model_times(self, nufft_type, n_modes, n_points, eps, **kwargs):
+        kwargs.setdefault("backend", self.backend)
         return model_cufinufft(
             nufft_type, n_modes, n_points, eps, method=self.method, **kwargs
         )

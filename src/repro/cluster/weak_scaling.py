@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
+from ..core.options import default_bin_shape
 from ..metrics.modeling import model_cufinufft, sample_spread_stats
 from .comm import CommCostModel
 from .node import CORI_GPU_NODE, Node
@@ -73,7 +73,7 @@ class WeakScalingResult:
 
 def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None,
                      max_ranks=None, precision="double", task_label="",
-                     rng=None, max_sample=1 << 20):
+                     rng=None, max_sample=1 << 20, backend="device_sim"):
     """Run the Fig. 9 weak-scaling sweep for one NUFFT task.
 
     Parameters
@@ -87,6 +87,9 @@ def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None
         the post-saturation regime is visible, as in the paper's plots.
     precision : str
         ``"double"`` for the M-TIP requirement of eps = 1e-12.
+    backend : str
+        Execution backend whose stage profiles price the per-rank NUFFT;
+        must record profiles (``"device_sim"``), like every modelled figure.
     """
     node_spec = node_spec if node_spec is not None else CORI_GPU_NODE
     node = Node(spec=node_spec)
@@ -97,12 +100,13 @@ def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None
     # The per-rank NUFFT is identical for every rank, so model it once and
     # apply the rank-dependent contention/communication factors.
     stats = sample_spread_stats(
-        "rand", n_points_per_rank, _fine_shape_for(n_modes, eps), _bin_shape(len(n_modes)),
-        rng=rng, max_sample=max_sample,
+        "rand", n_points_per_rank, _fine_shape_for(n_modes, eps),
+        default_bin_shape(len(n_modes)), rng=rng, max_sample=max_sample,
     )
     base = model_cufinufft(
         nufft_type, n_modes, n_points_per_rank, eps,
         method="auto", distribution="rand", precision=precision, stats=stats,
+        backend=backend,
     )
 
     result = WeakScalingResult(
@@ -123,10 +127,6 @@ def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None
         )
         result.points.append(point)
     return result
-
-
-def _bin_shape(ndim):
-    return (32, 32) if ndim == 2 else (16, 16, 2)
 
 
 def _fine_shape_for(n_modes, eps):

@@ -3,34 +3,57 @@
 Public API:
 
 * :class:`~repro.core.plan.Plan` -- the plan / set_pts / execute / destroy
-  interface of cuFINUFFT.
+  interface of cuFINUFFT (types 1, 2 and 3; one, two and three dimensions).
 * :func:`~repro.core.simple.nufft2d1` and friends -- one-shot wrappers.
 * :class:`~repro.core.options.Opts`, :class:`~repro.core.options.SpreadMethod`,
-  :class:`~repro.core.options.Precision` -- tuning options.
+  :class:`~repro.core.options.Precision` -- tuning options (including the
+  execution backend, see :mod:`repro.backends`).
 * :mod:`~repro.core.exact` -- direct O(NM) reference sums for validation.
 """
 
 from .errors import max_abs_error, relative_l2_error
-from .exact import nudft_type1, nudft_type2
-from .gridsize import fine_grid_shape, fine_grid_size, next_smooth_235
+from .exact import nudft_type1, nudft_type2, nudft_type3
+from .gridsize import (
+    fine_grid_shape,
+    fine_grid_size,
+    next_smooth_235,
+    next_smooth_even_235,
+)
 from .options import Opts, Precision, SpreadMethod
 from .plan import Plan
-from .simple import nufft2d1, nufft2d2, nufft3d1, nufft3d2
+from .simple import (
+    nufft1d1,
+    nufft1d2,
+    nufft1d3,
+    nufft2d1,
+    nufft2d2,
+    nufft2d3,
+    nufft3d1,
+    nufft3d2,
+    nufft3d3,
+)
 
 __all__ = [
     "Plan",
     "Opts",
     "Precision",
     "SpreadMethod",
+    "nufft1d1",
+    "nufft1d2",
+    "nufft1d3",
     "nufft2d1",
     "nufft2d2",
+    "nufft2d3",
     "nufft3d1",
     "nufft3d2",
+    "nufft3d3",
     "nudft_type1",
     "nudft_type2",
+    "nudft_type3",
     "relative_l2_error",
     "max_abs_error",
     "fine_grid_size",
     "fine_grid_shape",
     "next_smooth_235",
+    "next_smooth_even_235",
 ]

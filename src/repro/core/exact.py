@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["mode_indices", "nudft_type1", "nudft_type2"]
+__all__ = ["mode_indices", "nudft_type1", "nudft_type2", "nudft_type3"]
 
 
 def mode_indices(n_modes):
@@ -68,6 +68,8 @@ def nudft_type1(points, strengths, modes_shape):
         np.exp(-1j * np.outer(mode_indices(modes_shape[d]), points[d]))
         for d in range(ndim)
     ]
+    if ndim == 1:
+        return phases[0] @ result
     if ndim == 2:
         # (N1, M) * (M,) -> weighted, then contract with (N2, M)^T
         weighted = phases[0] * result[None, :]
@@ -78,7 +80,7 @@ def nudft_type1(points, strengths, modes_shape):
         for i2, row in enumerate(phases[1]):
             out[:, i2, :] = (weighted * row[None, :]) @ phases[2].T
         return out
-    raise ValueError("only 2D and 3D transforms are supported")
+    raise ValueError("only 1D, 2D and 3D transforms are supported")
 
 
 def nudft_type2(points, modes, ):
@@ -106,6 +108,8 @@ def nudft_type2(points, modes, ):
         np.exp(1j * np.outer(points[d], mode_indices(modes.shape[d])))
         for d in range(ndim)
     ]
+    if ndim == 1:
+        return phases[0] @ modes
     if ndim == 2:
         # c_j = sum_{k1,k2} f_{k1,k2} e^{i k1 x_j} e^{i k2 y_j}
         tmp = phases[0] @ modes            # (M, N2)
@@ -118,4 +122,31 @@ def nudft_type2(points, modes, ):
             tmp = phases[0] @ modes[:, :, i3]      # (M, N2)
             out += np.einsum("mk,mk->m", tmp, phases[1]) * phases[2][:, i3]
         return out
-    raise ValueError("only 2D and 3D transforms are supported")
+    raise ValueError("only 1D, 2D and 3D transforms are supported")
+
+
+def nudft_type3(points, strengths, targets):
+    """Exact type-3 sum ``f_k = sum_j c_j exp(+i s_k . x_j)``.
+
+    Parameters
+    ----------
+    points : sequence of ndarray
+        Per-dimension source coordinates, each shape ``(M,)`` (any reals).
+    strengths : ndarray, shape (M,)
+        Complex strengths ``c_j``.
+    targets : sequence of ndarray
+        Per-dimension nonuniform target frequencies ``s_k``, each shape
+        ``(N_k,)`` (any reals; not restricted to integers).
+
+    Returns
+    -------
+    ndarray, shape (N_k,)
+    """
+    points, strengths = _check_points(points, strengths)
+    targets, _ = _check_points(targets)
+    if len(targets) != len(points):
+        raise ValueError("targets must have the same dimensionality as points")
+    phase = np.zeros((targets[0].shape[0], points[0].shape[0]))
+    for s, x in zip(targets, points):
+        phase += np.outer(s, x)
+    return np.exp(1j * phase) @ strengths.astype(np.complex128)

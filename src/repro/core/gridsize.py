@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["is_smooth_235", "next_smooth_235", "fine_grid_size", "fine_grid_shape"]
+__all__ = [
+    "is_smooth_235",
+    "next_smooth_235",
+    "next_smooth_even_235",
+    "fine_grid_size",
+    "fine_grid_shape",
+]
 
 
 def is_smooth_235(n):
@@ -53,6 +59,20 @@ def next_smooth_235(n):
             p35 *= 3
         p5 *= 5
     return best
+
+
+def next_smooth_even_235(n):
+    """Smallest *even* 5-smooth integer ``>= n``.
+
+    Type-3 transforms centre their rescaled fine grid, which requires an even
+    grid size so the ``fftshift`` between spatial and mode ordering is an
+    exact half-rotation (FINUFFT's ``next235even``).
+    """
+    n = max(2, int(n))
+    candidate = next_smooth_235(n)
+    while candidate % 2:
+        candidate = next_smooth_235(candidate + 1)
+    return candidate
 
 
 def fine_grid_size(n_modes, kernel_width, upsampfac=2.0):

@@ -95,12 +95,18 @@ class Precision(enum.Enum):
 
 
 def default_bin_shape(ndim):
-    """Hand-tuned bin sizes from paper Remark 1: 32x32 (2D), 16x16x2 (3D)."""
+    """Hand-tuned bin sizes: 1024 (1D), 32x32 (2D, Remark 1), 16x16x2 (3D).
+
+    The paper only evaluates 2D and 3D; the 1D default follows cuFINUFFT's
+    1024-cell bins (one subproblem per bin at the default ``Msub``).
+    """
+    if ndim == 1:
+        return (1024,)
     if ndim == 2:
         return (32, 32)
     if ndim == 3:
         return (16, 16, 2)
-    raise ValueError(f"only 2D and 3D transforms are supported, got ndim={ndim}")
+    raise ValueError(f"only 1D, 2D and 3D transforms are supported, got ndim={ndim}")
 
 
 @dataclass
@@ -141,6 +147,12 @@ class Opts:
     stencil_budget : int
         Maximum fused stencil entry count ``M * w^d`` the cache may
         materialize (indices + weights + sparse operator).
+    backend : str
+        Execution backend name (see :mod:`repro.backends`): ``"reference"``
+        (exact per-transform numpy loop), ``"cached"`` (fused stencil-cache /
+        CSR fast path, no profiling) or ``"device_sim"`` (cached/reference
+        numerics with the simulated-GPU cost profiles attached).  ``"auto"``
+        resolves to ``device_sim``, preserving the paper's modelled timings.
     """
 
     method: SpreadMethod = SpreadMethod.AUTO
@@ -154,11 +166,15 @@ class Opts:
     cache_stencils: bool = True
     kernel_eval: str = "horner"
     stencil_budget: int = 1 << 25
+    backend: str = "auto"
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
         self.method = SpreadMethod.parse(self.method)
         self.precision = Precision.parse(self.precision)
+        if not isinstance(self.backend, str) or not self.backend.strip():
+            raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
+        self.backend = self.backend.strip().lower()
         if self.upsampfac != 2.0:
             raise ValueError("only upsampfac = 2.0 is supported (paper limitation (3))")
         if self.max_subproblem_size <= 0:
@@ -191,7 +207,10 @@ class Opts:
 
         Follows the paper: SM gives the best type-1 performance wherever it is
         implemented; it is not implemented for 3D double precision (Remark 2),
-        and interpolation (type 2) always uses GM-sort (Sec. III-B).
+        and interpolation (type 2) always uses GM-sort (Sec. III-B).  Type 3's
+        only spreading step is its type-1-style stage onto the rescaled fine
+        grid, so it resolves like type 1; 1D padded bins always fit shared
+        memory, so 1D spreading keeps SM in both precisions.
         """
         precision = precision if precision is not None else self.precision
         if self.method is not SpreadMethod.AUTO:
@@ -201,6 +220,10 @@ class Opts:
         if ndim == 3 and precision is Precision.DOUBLE:
             return SpreadMethod.GM_SORT
         return SpreadMethod.SM
+
+    def resolve_backend(self):
+        """Resolve the ``"auto"`` backend name (the profiled default)."""
+        return "device_sim" if self.backend == "auto" else self.backend
 
     def copy(self, **overrides):
         """Return a copy of the options with some fields replaced."""
@@ -216,6 +239,7 @@ class Opts:
             "cache_stencils": self.cache_stencils,
             "kernel_eval": self.kernel_eval,
             "stencil_budget": self.stencil_budget,
+            "backend": self.backend,
             "extra": dict(self.extra),
         }
         data.update(overrides)

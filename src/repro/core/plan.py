@@ -10,6 +10,15 @@ A :class:`Plan` mirrors the Python interface of the cuFINUFFT library
     f = plan.execute(c)                # repeatable with new strength vectors
     plan.destroy()
 
+Transforms of types 1, 2 and 3 are supported in one, two and three
+dimensions.  ``execute`` is an explicit stage pipeline -- spread -> FFT ->
+deconvolve for type 1, deconvolve -> FFT -> interpolate for type 2, and the
+type-2∘scale∘type-1 composition over a rescaled fine grid for type 3 -- where
+every stage is dispatched through the plan's
+:class:`~repro.backends.base.ExecutionBackend` (``Opts.backend``): exact
+per-transform ``reference`` numerics, the fused ``cached`` fast path, or the
+profiled ``device_sim`` default.
+
 The plan owns the kernel parameters, the fine-grid geometry, the precomputed
 correction factors, the simulated device allocations (so GPU RAM usage can be
 reported, Table I), and the pipeline profiles from which the paper's three
@@ -20,9 +29,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import get_backend
 from ..gpu.costmodel import CostModel
 from ..gpu.device import Device
-from ..gpu.fft import DeviceFFT, fft_kernel_profile
+from ..gpu.fft import DeviceFFT
 from ..gpu.profiler import PipelineProfile
 from ..kernels.es_kernel import ESKernel
 from .binsort import (
@@ -31,18 +41,9 @@ from .binsort import (
     make_subproblems,
     to_grid_coordinates,
 )
-from .deconvolve import CorrectionFactors, deconvolve_kernel_profile
-from .gridsize import fine_grid_shape
-from .interp import interp_cached, interp_kernel_profiles, interpolate
-from .options import Opts, Precision, SpreadMethod
-from .spread import (
-    spread_cached,
-    spread_gm,
-    spread_gm_sort,
-    spread_kernel_profiles,
-    spread_sm,
-    spread_sm_kernel_profiles,
-)
+from .deconvolve import CorrectionFactors
+from .gridsize import fine_grid_shape, next_smooth_even_235
+from .options import Opts, SpreadMethod
 from .stencil import build_stencil_cache
 
 __all__ = ["Plan", "CUDA_CONTEXT_MB"]
@@ -52,17 +53,22 @@ __all__ = ["Plan", "CUDA_CONTEXT_MB"]
 #: ``nvidia-smi`` numbers (Table I reports 381 MB for a tiny problem).
 CUDA_CONTEXT_MB = 377.0
 
+_COORD_NAMES = ("x", "y", "z")
+_TARGET_NAMES = ("s", "t", "u")
+
 
 class Plan:
-    """A planned type-1 or type-2 NUFFT on the simulated GPU.
+    """A planned type-1, type-2 or type-3 NUFFT on the simulated GPU.
 
     Parameters
     ----------
     nufft_type : int
-        1 (nonuniform -> uniform) or 2 (uniform -> nonuniform).
-    n_modes : tuple of int
-        Output (type 1) / input (type 2) mode counts ``(N1, N2[, N3])``.
-        Only 2D and 3D are supported, as in the paper.
+        1 (nonuniform -> uniform), 2 (uniform -> nonuniform) or
+        3 (nonuniform -> nonuniform).
+    n_modes : tuple of int, or int
+        Output (type 1) / input (type 2) mode counts ``(N1[, N2[, N3]])``.
+        A type-3 transform has no uniform modes: pass the dimension instead
+        (``Plan(3, 2)``), or a tuple whose length gives the dimension.
     n_trans : int, optional
         Number of transforms sharing the same nonuniform points (batched
         strength/coefficient vectors).
@@ -74,26 +80,42 @@ class Plan:
         Simulated device to run on (a fresh V100 by default).
     **opt_overrides
         Any :class:`~repro.core.options.Opts` field, e.g. ``method="SM"``,
-        ``precision="double"``, ``bin_shape=(16, 16, 4)``.
+        ``precision="double"``, ``backend="cached"``, ``bin_shape=(16, 16, 4)``.
+
+    A plan is a context manager: leaving the ``with`` block calls
+    :meth:`destroy`, which is idempotent (a destroyed plan only refuses new
+    work, it never errors on repeated destruction).
     """
 
     def __init__(self, nufft_type, n_modes, n_trans=1, eps=1e-6, opts=None,
                  device=None, **opt_overrides):
-        if nufft_type not in (1, 2):
-            raise ValueError(f"nufft_type must be 1 or 2, got {nufft_type}")
-        n_modes = tuple(int(n) for n in n_modes)
-        if len(n_modes) not in (2, 3):
-            raise ValueError(
-                f"only 2D and 3D transforms are supported, got n_modes={n_modes}"
-            )
-        if any(n < 1 for n in n_modes):
-            raise ValueError(f"all mode counts must be >= 1, got {n_modes}")
+        if nufft_type not in (1, 2, 3):
+            raise ValueError(f"nufft_type must be 1, 2 or 3, got {nufft_type}")
         if n_trans < 1:
             raise ValueError(f"n_trans must be >= 1, got {n_trans}")
 
         self.nufft_type = int(nufft_type)
-        self.n_modes = n_modes
-        self.ndim = len(n_modes)
+        if self.nufft_type == 3:
+            if np.isscalar(n_modes):
+                ndim = int(n_modes)
+            else:
+                ndim = len(tuple(n_modes))
+            if ndim not in (1, 2, 3):
+                raise ValueError(
+                    f"type-3 plans support dimensions 1-3, got dimension {ndim}"
+                )
+            self.n_modes = None
+            self.ndim = ndim
+        else:
+            n_modes = tuple(int(n) for n in n_modes)
+            if len(n_modes) not in (1, 2, 3):
+                raise ValueError(
+                    f"only 1D, 2D and 3D transforms are supported, got n_modes={n_modes}"
+                )
+            if any(n < 1 for n in n_modes):
+                raise ValueError(f"all mode counts must be >= 1, got {n_modes}")
+            self.n_modes = n_modes
+            self.ndim = len(n_modes)
         self.n_trans = int(n_trans)
         self.eps = float(eps)
 
@@ -101,6 +123,12 @@ class Plan:
         self.opts = base_opts.copy(**opt_overrides) if opt_overrides else base_opts.copy()
         self.precision = self.opts.precision
         self.method = self.opts.resolve_method(self.nufft_type, self.ndim, self.precision)
+        try:
+            self.backend = get_backend(self.opts.resolve_backend())
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        if self.nufft_type == 3 and self.opts.spread_only:
+            raise ValueError("spread_only is not supported for type-3 plans")
 
         self.device = device if device is not None else Device()
         self.cost_model = CostModel(
@@ -108,13 +136,19 @@ class Plan:
             precision_itemsize=self.precision.real_itemsize,
         )
 
-        # Kernel, fine grid, correction factors (planning stage).
+        # Kernel, fine grid, correction factors (planning stage).  A type-3
+        # plan defers its fine-grid geometry to set_pts: the grid depends on
+        # the spatial and spectral extents of the points themselves.
         self.kernel = ESKernel.from_tolerance(self.eps, upsampfac=self.opts.upsampfac)
-        self.fine_shape = fine_grid_shape(
-            self.n_modes, self.kernel.width, self.opts.upsampfac
-        )
         self.bin_shape = self.opts.resolved_bin_shape(self.ndim)
-        self.correction = CorrectionFactors(self.kernel, self.n_modes, self.fine_shape)
+        if self.nufft_type == 3:
+            self.fine_shape = None
+            self.correction = None
+        else:
+            self.fine_shape = fine_grid_shape(
+                self.n_modes, self.kernel.width, self.opts.upsampfac
+            )
+            self.correction = CorrectionFactors(self.kernel, self.n_modes, self.fine_shape)
 
         # SM feasibility check mirrors paper Remark 2: fall back to GM-sort when
         # the padded bin no longer fits in shared memory.
@@ -134,22 +168,37 @@ class Plan:
         # Device allocations that live for the duration of the plan.
         self._buffers = []
         cplx = self.precision.complex_dtype
-        self._fine_grid_buf = self._alloc(self.fine_shape, cplx, "fine grid")
-        self._cufft_workspace_buf = self._alloc(self.fine_shape, cplx, "cufft workspace")
-        for d, (nm, fac) in enumerate(zip(self.n_modes, self.correction.factors)):
-            self._alloc((nm,), self.precision.real_dtype, f"correction factors dim{d}")
+        if self.nufft_type != 3:
+            self._fine_grid_buf = self._alloc(self.fine_shape, cplx, "fine grid")
+            self._cufft_workspace_buf = self._alloc(
+                self.fine_shape, cplx, "cufft workspace"
+            )
+            for d, (nm, fac) in enumerate(zip(self.n_modes, self.correction.factors)):
+                self._alloc((nm,), self.precision.real_dtype, f"correction factors dim{d}")
 
-        # Point state (populated by set_pts).
+        # Point state (populated by set_pts).  ``_points_ready`` flips true
+        # only once set_pts completes: a set_pts that fails partway (e.g. a
+        # simulated OOM on the type-3 fine grid) leaves the plan cleanly in
+        # the "no points" state instead of half-initialized.
+        self._points_ready = False
         self._grid_coords = None
         self._sort = None
         self._subproblems = None
         self._stencil = None
         self._point_buffers = []
         self.n_points = 0
+        self.n_targets = 0
 
-        # Profiles.
+        # Type-3 state (populated by set_pts on type-3 plans).
+        self._t3_inner = None
+        self._t3_prephase = None
+        self._t3_postphase = None
+
+        # Profiles.  Only this plan's own allocations are recorded: on a
+        # shared device (multiple plans, or a type-3 plan's inner type-2)
+        # other plans' live buffers must not be double-counted in "mem".
         self._plan_pipeline = PipelineProfile()
-        for buf in self.device.memory.live_buffers:
+        for buf in self._buffers:
             self._plan_pipeline.add_transfer("alloc", buf.nbytes, buf.label)
         self._setup_pipeline = PipelineProfile()
         self._exec_pipeline = None
@@ -160,9 +209,22 @@ class Plan:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    @property
+    def interp_method(self):
+        """Interpolation strategy: SM has no interpolation analogue, so it
+        falls back to GM-sort (paper Sec. III-B)."""
+        return SpreadMethod.GM_SORT if self.method is SpreadMethod.SM else self.method
+
     def _alloc(self, shape, dtype, label):
         buf = self.device.memory.allocate(shape, dtype, label=label)
         self._buffers.append(buf)
+        return buf
+
+    def _point_alloc(self, shape, dtype, label):
+        """Allocate a buffer tied to the current point set (freed by set_pts)."""
+        buf = self.device.memory.allocate(shape, dtype, label=label)
+        self._point_buffers.append(buf)
+        self._setup_pipeline.add_transfer("alloc", buf.nbytes, label)
         return buf
 
     def _require_live(self):
@@ -171,52 +233,112 @@ class Plan:
 
     def _require_points(self):
         self._require_live()
-        if self._grid_coords is None:
+        if not self._points_ready:
             raise RuntimeError("set_pts must be called before execute")
+
+    def _ensure_subproblems(self):
+        """SM subproblem decomposition, built on first use after set_pts."""
+        if self._subproblems is None:
+            self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
+        return self._subproblems
 
     # ------------------------------------------------------------------ #
     # set_pts
     # ------------------------------------------------------------------ #
-    def set_pts(self, x, y, z=None):
+    def set_pts(self, x, y=None, z=None, s=None, t=None, u=None):
         """Register (and bin-sort) the nonuniform points.
 
-        Coordinates live in ``[-pi, pi)`` (any real values are folded in).
+        For type-1/2 plans, pass one coordinate array per dimension
+        (``x[, y[, z]]``), each living in ``[-pi, pi)`` (any real values are
+        folded in).  A type-3 plan additionally takes one *target frequency*
+        array per dimension (``s[, t[, u]]``), which may be arbitrary reals:
+        set_pts derives the rescaled fine grid covering both extents.
+
         Calling ``set_pts`` again replaces the previous points, exactly as in
         cuFINUFFT, so one plan can be reused across point sets of equal size
         or not.
         """
         self._require_live()
-        coords = [np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)]
-        if self.ndim == 3:
-            if z is None:
-                raise ValueError("3D plan requires x, y and z coordinates")
-            coords.append(np.asarray(z, dtype=np.float64))
-        elif z is not None:
-            raise ValueError("2D plan takes only x and y coordinates")
-        m = coords[0].shape[0]
-        for c in coords:
-            if c.ndim != 1 or c.shape[0] != m:
-                raise ValueError("coordinate arrays must be 1-D and of equal length")
-        if m == 0:
-            raise ValueError("at least one nonuniform point is required")
+        coords = self._validated_arrays((x, y, z), _COORD_NAMES, "coordinate")
+        if self.nufft_type == 3:
+            targets = self._validated_arrays((s, t, u), _TARGET_NAMES,
+                                             "target frequency")
+            return self._set_pts_type3(coords, targets)
+        if s is not None or t is not None or u is not None:
+            raise ValueError(
+                "target frequencies (s, t, u) are only accepted by type-3 plans"
+            )
 
-        # Release buffers from a previous set_pts.
+        self._release_point_state()
+        self.n_points = coords[0].shape[0]
+        self._grid_coords = [
+            to_grid_coordinates(coords[d], self.fine_shape[d]) for d in range(self.ndim)
+        ]
+        self._upload_points(coords)
+        self._build_point_precompute()
+        self._points_ready = True
+        return self
+
+    def _validated_arrays(self, arrays, names, what):
+        """Check that exactly the first ``ndim`` arrays are given, 1-D, equal."""
+        for d in range(self.ndim):
+            if arrays[d] is None:
+                raise ValueError(
+                    f"{self.ndim}D plan requires {what} arrays "
+                    f"{', '.join(names[:self.ndim])}"
+                )
+        for d in range(self.ndim, len(arrays)):
+            if arrays[d] is not None:
+                raise ValueError(
+                    f"{self.ndim}D plan takes only the {what} arrays "
+                    f"{', '.join(names[:self.ndim])}"
+                )
+        out = [np.asarray(a, dtype=np.float64) for a in arrays[:self.ndim]]
+        m = out[0].shape[0] if out[0].ndim == 1 else -1
+        for a in out:
+            if a.ndim != 1 or a.shape[0] != m:
+                raise ValueError(f"{what} arrays must be 1-D and of equal length")
+        if m == 0:
+            raise ValueError(f"at least one nonuniform {what} is required")
+        return out
+
+    def _release_point_state(self):
+        """Free buffers and precompute tied to the previous point set.
+
+        Also marks the plan as having no usable points until the in-flight
+        set_pts finishes, so a failure partway through planning leaves the
+        plan refusing execute with a clear error instead of crashing deep in
+        a stage on stale geometry.
+        """
+        self._points_ready = False
         for buf in self._point_buffers:
             buf.free()
         self._point_buffers = []
         self._setup_pipeline = PipelineProfile()
+        self._grid_coords = None
+        self._sort = None
+        self._subproblems = None
+        self._stencil = None
+        if self._t3_inner is not None:
+            self._t3_inner.destroy()
+            self._t3_inner = None
+        self._t3_prephase = None
+        self._t3_postphase = None
 
-        self.n_points = m
-        self._grid_coords = [
-            to_grid_coordinates(coords[d], self.fine_shape[d]) for d in range(self.ndim)
-        ]
-
+    def _upload_points(self, coords):
         real_dt = self.precision.real_dtype
         for d, c in enumerate(coords):
             buf = self.device.memory.from_host(c.astype(real_dt), label=f"points dim{d}")
             self._point_buffers.append(buf)
             self._setup_pipeline.add_transfer("h2d", buf.nbytes, f"points dim{d}")
 
+    def _build_point_precompute(self):
+        """Bin sort, stencil cache, subproblem split and setup profiles.
+
+        Shared by every transform type; for type 3 it runs on the rescaled
+        source coordinates over the derived fine grid.
+        """
+        m = self.n_points
         # Bin statistics are always computed (the contention model needs them);
         # the sort kernels are only charged when the method uses the sort.
         self._sort = bin_sort(self._grid_coords, self.fine_shape, self.bin_shape)
@@ -225,9 +347,11 @@ class Plan:
         # Plan-level stencil cache: the per-point kernel stencils (and, within
         # budget, the fused sparse spread/interp operator) depend only on the
         # points, so they are computed once here and reused by every execute.
-        # Rebuilding on each set_pts call is the cache invalidation.
+        # Rebuilding on each set_pts call is the cache invalidation.  Whether
+        # the cache exists at all is the backend's call: the reference backend
+        # re-evaluates kernels on the fly, the cached backend requires it.
         self._stencil = None
-        if self.opts.cache_stencils:
+        if self.backend.wants_stencil_cache(self.opts):
             self._stencil = build_stencil_cache(
                 self._grid_coords,
                 self.fine_shape,
@@ -235,7 +359,7 @@ class Plan:
                 kernel_eval=self.opts.kernel_eval,
                 fuse_budget=self.opts.stencil_budget,
             )
-        if self.method is SpreadMethod.SM and self.nufft_type == 1:
+        if self.method is SpreadMethod.SM and self.nufft_type != 2:
             self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
 
         if self.method in (SpreadMethod.GM_SORT, SpreadMethod.SM) and self.opts.sort_points:
@@ -259,6 +383,107 @@ class Plan:
                     _subproblem_setup_profile(self._sort, self._subproblems),
                     phase="setup",
                 )
+
+    # ------------------------------------------------------------------ #
+    # type-3 planning (the "scale" of the type-2∘scale∘type-1 composition)
+    # ------------------------------------------------------------------ #
+    def _set_pts_type3(self, coords, targets):
+        """Derive the rescaled fine grid and plan the inner type-2 transform.
+
+        Following the standard (FINUFFT) type-3 algorithm: with per-dimension
+        spatial half-extent ``X`` (sources, centred at ``cx``) and spectral
+        half-extent ``S`` (targets, centred at ``cs``), the fine grid size is
+        ``nf ~ 2 sigma S X / pi + w`` and the scale factor
+        ``gamma = nf / (2 sigma S)`` maps sources into ``[-pi, pi)``.
+        ``execute`` then spreads the (pre-phased) strengths onto this grid,
+        evaluates the grid's trigonometric sum at the rescaled targets with an
+        inner type-2 plan, and divides by the kernel transform at the exact
+        (non-integer) target frequencies.
+        """
+        self._release_point_state()
+        m = coords[0].shape[0]
+        nk = targets[0].shape[0]
+        self.n_points = m
+        self.n_targets = nk
+
+        sigma = self.opts.upsampfac
+        w = self.kernel.width
+        fine = []
+        gamma = []
+        centers_x = []
+        centers_s = []
+        spread_half = []
+        for d in range(self.ndim):
+            xd, sd = coords[d], targets[d]
+            cx = 0.5 * (float(xd.max()) + float(xd.min()))
+            cs = 0.5 * (float(sd.max()) + float(sd.min()))
+            half_x = float(np.abs(xd - cx).max())
+            half_s = float(np.abs(sd - cs).max())
+            # Degenerate extents (all sources and/or targets coincident):
+            # ensure X*S is bounded away from zero, as FINUFFT's set_nhg does.
+            if half_x == 0.0:
+                half_x = 1.0 if half_s == 0.0 else max(half_x, 1.0 / half_s)
+            if half_s == 0.0:
+                half_s = max(half_s, 1.0 / half_x)
+            nf = int(2.0 * sigma * half_s * half_x / np.pi + (w + 1))
+            nf = next_smooth_even_235(max(nf, 2 * w))
+            fine.append(nf)
+            gamma.append(nf / (2.0 * sigma * half_s))
+            centers_x.append(cx)
+            centers_s.append(cs)
+            spread_half.append(half_s)
+
+        self.fine_shape = tuple(fine)
+        self._grid_coords = [
+            to_grid_coordinates((coords[d] - centers_x[d]) / gamma[d], self.fine_shape[d])
+            for d in range(self.ndim)
+        ]
+
+        # Pre-phase e^{i cs.(x-cx)} folds the target centring into the
+        # strengths; the post factors carry the source centring e^{i s.cx} and
+        # the kernel deconvolution at the exact target frequencies.
+        prephase = np.zeros(m)
+        postphase = np.zeros(nk)
+        factors = np.ones(nk)
+        for d in range(self.ndim):
+            prephase += centers_s[d] * (coords[d] - centers_x[d])
+            postphase += centers_x[d] * targets[d]
+            alpha = w * np.pi / self.fine_shape[d]
+            xi = alpha * gamma[d] * (targets[d] - centers_s[d])
+            phihat = self.kernel.fourier_transform(xi)
+            if np.any(phihat <= 0):
+                raise ValueError(
+                    "kernel Fourier transform is not positive over the target "
+                    "frequencies; the requested tolerance is unattainable"
+                )
+            factors *= (2.0 / w) / phihat
+        self._t3_prephase = np.exp(1j * prephase)
+        self._t3_postphase = factors * np.exp(1j * postphase)
+
+        cplx = self.precision.complex_dtype
+        self._point_alloc(self.fine_shape, cplx, "t3 fine grid")
+        self._upload_points(coords)
+        for label, vec in (("t3 prephase", self._t3_prephase),
+                           ("t3 deconvolve factors", self._t3_postphase)):
+            buf = self.device.memory.from_host(vec.astype(cplx), label=label)
+            self._point_buffers.append(buf)
+            self._setup_pipeline.add_transfer("h2d", buf.nbytes, label)
+
+        self._build_point_precompute()
+
+        # Inner type-2 plan over the same backend: evaluates the fine grid's
+        # trigonometric sum at the rescaled target frequencies.
+        inner_opts = self.opts.copy(spread_only=False, bin_shape=None)
+        self._t3_inner = Plan(2, self.fine_shape, n_trans=self.n_trans,
+                              eps=self.eps, opts=inner_opts, device=self.device)
+        rescaled_targets = [
+            (targets[d] - centers_s[d]) * (np.pi / (sigma * spread_half[d]))
+            for d in range(self.ndim)
+        ]
+        self._t3_inner.set_pts(*rescaled_targets)
+        self._setup_pipeline.merge(self._t3_inner._plan_pipeline)
+        self._setup_pipeline.merge(self._t3_inner._setup_pipeline)
+        self._points_ready = True
         return self
 
     # ------------------------------------------------------------------ #
@@ -274,33 +499,51 @@ class Plan:
         Type 2: ``data`` holds mode coefficients of shape ``n_modes`` or
         ``(n_trans, *n_modes)``; returns ``(M,)`` or ``(n_trans, M)``.
 
+        Type 3: ``data`` holds strengths of shape ``(M,)`` or
+        ``(n_trans, M)``; returns target values of shape ``(N_k,)`` or
+        ``(n_trans, N_k)``.
+
         In ``spread_only`` mode (used by the Fig. 2 / Fig. 3 benchmarks) the
         FFT and deconvolution are skipped: type 1 returns the fine grid and
         type 2 expects a fine-grid-shaped input to interpolate from.
 
-        With the default ``cache_stencils`` option all ``n_trans`` transforms
-        run through one fused pass per pipeline stage (spread / FFT /
-        deconvolve or their type-2 transposes), reusing the stencils
-        precomputed by :meth:`set_pts`; disabling the option falls back to the
-        per-transform loop of the original implementation.
+        ``out``, when given, must be a numpy array of exactly the output
+        shape and the plan's complex dtype; anything else raises
+        ``ValueError`` rather than silently broadcasting.
+
+        Each stage runs on the plan's execution backend: the default
+        ``device_sim`` fuses all ``n_trans`` transforms per stage (via the
+        stencil cache precomputed by :meth:`set_pts`) and records the
+        simulated-GPU kernel profiles; ``cached`` does the same without
+        profiling; ``reference`` reproduces the original per-transform loop.
         """
         self._require_points()
         data = np.asarray(data)
         cplx = self.precision.complex_dtype
 
-        batched, batch = self._validate_execute_shape(data)
+        batched = self._validate_execute_shape(data)
+        self._validate_out(out, batched)
+        backend = self.backend
         pipeline = PipelineProfile()
-        self._fft.pipeline = pipeline
+        self._fft.pipeline = pipeline if backend.records_profiles else None
 
         stack = (data if batched else data[None]).astype(cplx, copy=False)
-        if self.opts.cache_stencils:
-            if self.nufft_type == 1:
-                output = self._execute_type1_batched(stack, pipeline)
+        if self.nufft_type == 3:
+            output = self._execute_type3(stack, pipeline)
+        elif self.nufft_type == 1:
+            fine = backend.spread(self, stack, pipeline)
+            if self.opts.spread_only:
+                output = fine
             else:
-                output = self._execute_type2_batched(stack, pipeline)
+                fine_hat = backend.fft_forward(self, fine, pipeline)
+                output = backend.deconvolve(self, fine_hat, pipeline)
         else:
-            runner = self._execute_type1 if self.nufft_type == 1 else self._execute_type2
-            output = np.stack([runner(stack[t], pipeline) for t in range(stack.shape[0])])
+            if self.opts.spread_only:
+                fine = stack.astype(np.complex128, copy=False)
+            else:
+                fine = backend.precorrect(self, stack, pipeline)
+                fine = backend.fft_inverse(self, fine, pipeline)
+            output = backend.interp(self, fine, pipeline)
 
         self._record_execute_transfers(data, output, pipeline)
         self._exec_pipeline = pipeline
@@ -311,175 +554,77 @@ class Plan:
             return out
         return output
 
-    def _validate_execute_shape(self, data):
-        m, cplx = self.n_points, self.precision.complex_dtype
+    def _execute_type3(self, stack, pipeline):
+        """Type 3 as spread -> (shift to modes) -> inner type 2 -> deconvolve."""
+        cplx = self.precision.complex_dtype
+        strengths = stack.astype(np.complex128, copy=False) * self._t3_prephase[None, :]
+        fine = self.backend.spread(self, strengths, pipeline)
+        # The spatial fine grid, reordered so node l becomes centred mode
+        # l - nf/2 (exact for the even grid sizes set_pts chooses): the
+        # grid's trigonometric sum at a rescaled target is then a type-2
+        # NUFFT evaluation.
+        g = np.fft.fftshift(np.asarray(fine), axes=tuple(range(1, self.ndim + 1)))
+        tau = self._t3_inner.execute(g)
+        output = tau.astype(np.complex128, copy=False) * self._t3_postphase[None, :]
+        inner_pipeline = self._t3_inner._exec_pipeline
+        if self.backend.records_profiles and inner_pipeline is not None:
+            # Adopt the inner transform's kernel profiles, but not its
+            # synthetic input/output transfers: the fine grid never leaves
+            # the device in the composed transform.
+            for phase, prof in inner_pipeline.kernels:
+                pipeline.add_kernel(prof, phase=phase)
+        return output.astype(cplx, copy=False)
+
+    def _single_input_shape(self):
+        if self.nufft_type in (1, 3):
+            return (self.n_points,)
+        if self.opts.spread_only:
+            return self.fine_shape
+        return self.n_modes
+
+    def _single_output_shape(self):
         if self.nufft_type == 1:
-            single_shape = (m,)
-        elif self.opts.spread_only:
-            single_shape = self.fine_shape
-        else:
-            single_shape = self.n_modes
+            return self.fine_shape if self.opts.spread_only else self.n_modes
+        if self.nufft_type == 2:
+            return (self.n_points,)
+        return (self.n_targets,)
+
+    def _validate_execute_shape(self, data):
+        single_shape = self._single_input_shape()
         if data.shape == single_shape:
             if self.n_trans != 1:
                 raise ValueError(
                     f"plan expects n_trans={self.n_trans} stacked inputs of shape {single_shape}"
                 )
-            return False, 1
+            return False
         if data.shape == (self.n_trans,) + single_shape:
-            return True, self.n_trans
+            return True
         raise ValueError(
             f"data shape {data.shape} does not match expected {single_shape} "
             f"(or ({self.n_trans}, *{single_shape}) for batched transforms)"
         )
 
-    def _spread_fine_grid(self, strengths, pipeline):
-        """Spread one ``(M,)`` vector or a ``(n_trans, M)`` block.
-
-        When the stencil cache carries the fused sparse operator, every method
-        shares its accumulation pass (the method still determines the modelled
-        kernel profiles, exactly as the numerics of GM / GM-sort / SM agree up
-        to summation order); otherwise the method-specific spreader runs with
-        whatever per-dimension stencils the cache holds.
-        """
-        cplx = self.precision.complex_dtype
-        cache = self._stencil
-        if cache is not None and cache.interp_matrix is not None:
-            fine = spread_cached(self.fine_shape, strengths, cache, cplx)
-        elif self.method is SpreadMethod.GM:
-            fine = spread_gm(self.fine_shape, self._grid_coords, strengths, self.kernel,
-                             cplx, cache=cache)
-        elif self.method is SpreadMethod.GM_SORT:
-            fine = spread_gm_sort(
-                self.fine_shape, self._grid_coords, strengths, self.kernel, self._sort,
-                cplx, cache=cache
+    def _validate_out(self, out, batched):
+        if out is None:
+            return
+        expected_shape = self._single_output_shape()
+        if batched:
+            expected_shape = (self.n_trans,) + tuple(expected_shape)
+        expected_dtype = self.precision.complex_dtype
+        if not isinstance(out, np.ndarray):
+            raise ValueError(
+                f"out must be a numpy array of shape {tuple(expected_shape)} and "
+                f"dtype {np.dtype(expected_dtype).name}, got {type(out).__name__}"
             )
-        else:
-            if self._subproblems is None:
-                self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
-            fine = spread_sm(
-                self.fine_shape,
-                self._grid_coords,
-                strengths,
-                self.kernel,
-                self._sort,
-                self._subproblems,
-                cplx,
-                cache=cache,
+        if out.shape != tuple(expected_shape):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {tuple(expected_shape)}"
             )
-        profiles = self._spread_profiles()
-        n_trans = strengths.shape[0] if strengths.ndim == 2 else 1
-        for _ in range(n_trans):
-            for prof in profiles:
-                pipeline.add_kernel(prof, phase="exec")
-        return fine
-
-    def _spread_profiles(self):
-        if self.method is SpreadMethod.SM:
-            if self._subproblems is None:
-                self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
-            return spread_sm_kernel_profiles(
-                self._sort,
-                self.kernel,
-                self.precision,
-                self._subproblems,
-                self.opts.threads_per_block,
-                self.device.spec,
+        if out.dtype != np.dtype(expected_dtype):
+            raise ValueError(
+                f"out has dtype {out.dtype}, expected {np.dtype(expected_dtype).name} "
+                f"for a {self.precision.value}-precision plan"
             )
-        return spread_kernel_profiles(
-            self.method,
-            self._sort,
-            self.kernel,
-            self.precision,
-            self.opts.threads_per_block,
-            self.device.spec,
-        )
-
-    def _execute_type1(self, strengths, pipeline):
-        cplx = self.precision.complex_dtype
-        fine = self._spread_fine_grid(strengths, pipeline)
-        if self.opts.spread_only:
-            return fine
-        fine_hat = self._fft.forward(fine.astype(np.complex128, copy=False))
-        modes = self.correction.truncate_and_scale(fine_hat, dtype=cplx)
-        pipeline.add_kernel(
-            deconvolve_kernel_profile(self.n_modes, self.precision.complex_itemsize),
-            phase="exec",
-        )
-        return modes
-
-    def _execute_type1_batched(self, strengths, pipeline):
-        """Fused type-1 execution of the whole ``(n_trans, M)`` strength block."""
-        cplx = self.precision.complex_dtype
-        n_trans = strengths.shape[0]
-        fine = self._spread_fine_grid(strengths, pipeline)
-        if self.opts.spread_only:
-            return fine
-        axes = tuple(range(1, self.ndim + 1))
-        fine_hat = self._fft.forward(fine.astype(np.complex128, copy=False), axes=axes)
-        modes = self.correction.truncate_and_scale(fine_hat, dtype=cplx)
-        profile = deconvolve_kernel_profile(self.n_modes, self.precision.complex_itemsize)
-        for _ in range(n_trans):
-            pipeline.add_kernel(profile, phase="exec")
-        return modes
-
-    def _execute_type2_batched(self, modes, pipeline):
-        """Fused type-2 execution of the whole ``(n_trans, *n_modes)`` block."""
-        cplx = self.precision.complex_dtype
-        n_trans = modes.shape[0]
-        if self.opts.spread_only:
-            fine = modes.astype(np.complex128, copy=False)
-        else:
-            fine = self.correction.pad_and_scale(modes, dtype=np.complex128)
-            profile = deconvolve_kernel_profile(
-                self.n_modes, self.precision.complex_itemsize, name="precorrect"
-            )
-            for _ in range(n_trans):
-                pipeline.add_kernel(profile, phase="exec")
-            fine = self._fft.inverse(fine, axes=tuple(range(1, self.ndim + 1)))
-        method = self.method if self.method is not SpreadMethod.SM else SpreadMethod.GM_SORT
-        cache = self._stencil
-        if cache is not None and cache.interp_matrix is not None:
-            result = interp_cached(fine, self._grid_coords, cache, cplx)
-        else:
-            result = interpolate(fine, self._grid_coords, self.kernel, method, self._sort,
-                                 cplx, cache=cache)
-        profiles = interp_kernel_profiles(
-            method,
-            self._sort,
-            self.kernel,
-            self.precision,
-            self.opts.threads_per_block,
-            self.device.spec,
-        )
-        for _ in range(n_trans):
-            for prof in profiles:
-                pipeline.add_kernel(prof, phase="exec")
-        return result
-
-    def _execute_type2(self, modes, pipeline):
-        cplx = self.precision.complex_dtype
-        if self.opts.spread_only:
-            fine = modes.astype(np.complex128, copy=False)
-        else:
-            fine = self.correction.pad_and_scale(modes, dtype=np.complex128)
-            pipeline.add_kernel(
-                deconvolve_kernel_profile(self.n_modes, self.precision.complex_itemsize,
-                                          name="precorrect"),
-                phase="exec",
-            )
-            fine = self._fft.inverse(fine)
-        method = self.method if self.method is not SpreadMethod.SM else SpreadMethod.GM_SORT
-        result = interpolate(fine, self._grid_coords, self.kernel, method, self._sort, cplx)
-        for prof in interp_kernel_profiles(
-            method,
-            self._sort,
-            self.kernel,
-            self.precision,
-            self.opts.threads_per_block,
-            self.device.spec,
-        ):
-            pipeline.add_kernel(prof, phase="exec")
-        return result
 
     def _record_execute_transfers(self, data, output, pipeline):
         cplx_sz = self.precision.complex_itemsize
@@ -497,7 +642,10 @@ class Plan:
         ``exec`` covers the kernels of the most recent :meth:`execute` call;
         ``setup`` the bin-sort of the most recent :meth:`set_pts`; ``mem`` the
         host<->device transfers and plan allocations.  This is exactly the
-        decomposition the paper uses for its three reported timings.
+        decomposition the paper uses for its three reported timings.  Only the
+        ``device_sim`` backend records kernel profiles; on the pure-numerics
+        backends the kernel components are zero and ``mem`` reflects the
+        transfers alone.
         """
         contention = self.device.contention_factor
         combined = PipelineProfile()
@@ -535,17 +683,26 @@ class Plan:
 
     def report(self):
         """Multi-line human-readable summary of the plan and its last run."""
+        if self.nufft_type == 3:
+            head = (f"cuFINUFFT-repro plan: type 3, {self.ndim}D, "
+                    f"n_trans={self.n_trans}")
+        else:
+            head = (f"cuFINUFFT-repro plan: type {self.nufft_type}, {self.ndim}D, "
+                    f"modes {self.n_modes}, n_trans={self.n_trans}")
         lines = [
-            f"cuFINUFFT-repro plan: type {self.nufft_type}, {self.ndim}D, "
-            f"modes {self.n_modes}, n_trans={self.n_trans}",
-            f"  precision: {self.precision.value}, method: {self.method.value}",
+            head,
+            f"  precision: {self.precision.value}, method: {self.method.value}, "
+            f"backend: {self.backend.name}",
             f"  {self.kernel.describe()}",
             f"  fine grid: {self.fine_shape}, bins: {self.bin_shape}, "
             f"Msub={self.opts.max_subproblem_size}",
             f"  device: {self.device.spec.name}, RAM {self.gpu_ram_mb():.0f} MB",
         ]
         if self._grid_coords is not None:
-            lines.append(f"  points: {self.n_points}")
+            pts = f"  points: {self.n_points}"
+            if self.nufft_type == 3:
+                pts += f", targets: {self.n_targets}"
+            lines.append(pts)
             if self._stencil is not None:
                 kind = ("sparse-op" if self._stencil.interp_matrix is not None
                         else "fused" if self._stencil.is_fused else "per-dim")
@@ -565,9 +722,16 @@ class Plan:
     # lifecycle
     # ------------------------------------------------------------------ #
     def destroy(self):
-        """Free all simulated device allocations held by the plan."""
+        """Free all simulated device allocations held by the plan.
+
+        Idempotent: destroying an already-destroyed plan is a no-op.  Only
+        *new work* (set_pts / execute) on a destroyed plan raises.
+        """
         if self._destroyed:
             return
+        if self._t3_inner is not None:
+            self._t3_inner.destroy()
+            self._t3_inner = None
         for buf in self._point_buffers:
             buf.free()
         for buf in self._buffers:

@@ -12,7 +12,17 @@ import numpy as np
 
 from .plan import Plan
 
-__all__ = ["nufft2d1", "nufft2d2", "nufft3d1", "nufft3d2"]
+__all__ = [
+    "nufft1d1",
+    "nufft1d2",
+    "nufft1d3",
+    "nufft2d1",
+    "nufft2d2",
+    "nufft2d3",
+    "nufft3d1",
+    "nufft3d2",
+    "nufft3d3",
+]
 
 
 def _run_type1(coords, strengths, n_modes, eps, kwargs):
@@ -33,6 +43,53 @@ def _run_type2(coords, modes, eps, kwargs):
     with Plan(2, n_modes, eps=eps, **kwargs) as plan:
         plan.set_pts(*coords)
         return plan.execute(modes)
+
+
+def _run_type3(coords, strengths, targets, eps, kwargs):
+    strengths = np.asarray(strengths)
+    kwargs = dict(kwargs)
+    if strengths.ndim == 2:
+        kwargs.setdefault("n_trans", strengths.shape[0])
+    ndim = len(coords)
+    target_kw = dict(zip(("s", "t", "u"), targets))
+    with Plan(3, ndim, eps=eps, **kwargs) as plan:
+        plan.set_pts(*coords, **target_kw)
+        return plan.execute(strengths)
+
+
+def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
+    """1D type-1 NUFFT: ``f_k = sum_j c_j exp(-i k x_j)``.
+
+    ``n_modes`` may be an integer ``N1`` or a 1-tuple; ``c`` may be ``(M,)``
+    or a stacked ``(n_trans, M)`` block.
+    """
+    if np.isscalar(n_modes):
+        n_modes = (int(n_modes),)
+    if len(n_modes) != 1:
+        raise ValueError(f"n_modes must be an int or a 1-tuple, got {n_modes!r}")
+    return _run_type1((x,), c, tuple(n_modes), eps, kwargs)
+
+
+def nufft1d2(x, f, eps=1e-6, **kwargs):
+    """1D type-2 NUFFT: evaluate the series ``f`` at the targets ``x``.
+
+    ``f`` may be a ``(N1,)`` mode array, or -- when ``n_trans`` is passed
+    explicitly -- a stacked ``(n_trans, N1)`` block.
+    """
+    f = np.asarray(f)
+    expected = 2 if kwargs.get("n_trans", 1) > 1 else 1
+    if f.ndim != expected:
+        raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
+    return _run_type2((x,), f, eps, kwargs)
+
+
+def nufft1d3(x, c, s, eps=1e-6, **kwargs):
+    """1D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_k x_j)``.
+
+    ``x`` and ``s`` are arbitrary real source points / target frequencies;
+    ``c`` may be ``(M,)`` or a stacked ``(n_trans, M)`` block.
+    """
+    return _run_type3((x,), c, (s,), eps, kwargs)
 
 
 def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
@@ -77,6 +134,11 @@ def nufft2d2(x, y, f, eps=1e-6, **kwargs):
     return _run_type2((x, y), f, eps, kwargs)
 
 
+def nufft2d3(x, y, c, s, t, eps=1e-6, **kwargs):
+    """2D type-3 NUFFT: ``f_k = sum_j c_j exp(+i (s_k x_j + t_k y_j))``."""
+    return _run_type3((x, y), c, (s, t), eps, kwargs)
+
+
 def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
     """3D type-1 NUFFT."""
     if len(n_modes) != 3:
@@ -92,3 +154,8 @@ def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
     if f.ndim != expected:
         raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
     return _run_type2((x, y, z), f, eps, kwargs)
+
+
+def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, **kwargs):
+    """3D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_vec_k . x_vec_j)``."""
+    return _run_type3((x, y, z), c, (s, t, u), eps, kwargs)

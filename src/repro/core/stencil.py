@@ -29,7 +29,7 @@ rebuilds it, which is exactly the invalidation the paper's interface implies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -122,6 +122,8 @@ def _tensor_stencil(idx_per_dim, vals_per_dim, fine_shape):
     """
     ndim = len(fine_shape)
     m = idx_per_dim[0].shape[0]
+    if ndim == 1:
+        return idx_per_dim[0].reshape(m, -1), vals_per_dim[0].reshape(m, -1)
     if ndim == 2:
         n2 = fine_shape[1]
         flat_idx = idx_per_dim[0][:, :, None] * n2 + idx_per_dim[1][:, None, :]

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from .atomics import expected_queue_depth, serialization_delay_ns
-from .device import DeviceSpec, V100_SPEC
+from .device import V100_SPEC
 from .memory import TransferDirection, allocation_time_seconds, transfer_time_seconds
 
 __all__ = ["CostModelConstants", "CostModel", "TimingBreakdown"]

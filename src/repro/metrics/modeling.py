@@ -27,6 +27,8 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from ..backends import get_backend
+from ..backends.device_sim import interp_stage_profiles, spread_stage_profiles
 from ..core.binsort import (
     SpreadStats,
     bin_sort,
@@ -35,11 +37,9 @@ from ..core.binsort import (
     to_grid_coordinates,
 )
 from ..core.deconvolve import deconvolve_kernel_profile
-from ..core.gridsize import fine_grid_shape
-from ..core.interp import interp_kernel_profiles
+from ..core.gridsize import fine_grid_shape, next_smooth_even_235
 from ..core.options import Opts, Precision, SpreadMethod
 from ..core.plan import CUDA_CONTEXT_MB
-from ..core.spread import spread_kernel_profiles, spread_sm_kernel_profiles
 from ..gpu.costmodel import CostModel
 from ..gpu.device import V100_SPEC
 from ..gpu.fft import fft_kernel_profile
@@ -119,10 +119,124 @@ def _device_allocation_bytes(fine_shape, n_modes, n_points, ndim, precision, sor
     return total
 
 
+def _model_type3(n_modes, n_points, eps, method, distribution, precision,
+                 base_opts, spec, rng, max_sample, kernel, backend):
+    """Price a type-3 transform as its type-2∘scale∘type-1 composition.
+
+    ``n_modes`` is the rescaled composition grid (see :func:`model_cufinufft`);
+    targets are assumed as numerous as sources and, being rescaled into
+    ``[-pi/sigma, pi/sigma]``, uniformly occupying regardless of the source
+    distribution.
+    """
+    t3_grid = tuple(next_smooth_even_235(int(n)) for n in n_modes)
+    ndim = len(t3_grid)
+    bin_shape = base_opts.resolved_bin_shape(ndim)
+    inner_fine = fine_grid_shape(t3_grid, kernel.width, base_opts.upsampfac)
+    cplx = precision.complex_itemsize
+    real = precision.real_itemsize
+    tpb = base_opts.threads_per_block
+
+    # Outer spread method resolves like type 1 (with the Remark-2 fallback);
+    # the inner interpolation resolves like type 2.
+    if method is SpreadMethod.SM:
+        from ..gpu.threadblock import LaunchConfigError, check_shared_memory_fit
+
+        try:
+            check_shared_memory_fit(bin_shape, kernel.width, cplx, spec)
+        except LaunchConfigError:
+            method = SpreadMethod.GM_SORT
+    interp_method = base_opts.resolve_method(2, ndim, precision)
+
+    stats_src = sample_spread_stats(
+        distribution, n_points, t3_grid, bin_shape, rng=rng, max_sample=max_sample
+    )
+    stats_tgt = sample_spread_stats(
+        "rand", n_points, inner_fine, bin_shape, rng=rng, max_sample=max_sample
+    )
+
+    pipeline = PipelineProfile()
+    # --- setup: bin sorts of the sources (outer) and targets (inner) --------
+    if method in (SpreadMethod.GM_SORT, SpreadMethod.SM):
+        for prof in binsort_kernel_profiles(
+            stats_src.n_points, stats_src.n_bins, ndim, real, tpb
+        ):
+            pipeline.add_kernel(prof, phase="setup")
+    if interp_method in (SpreadMethod.GM_SORT, SpreadMethod.SM):
+        for prof in binsort_kernel_profiles(
+            stats_tgt.n_points, stats_tgt.n_bins, ndim, real, tpb
+        ):
+            pipeline.add_kernel(prof, phase="setup")
+
+    # --- exec: spread -> inner type 2 (precorrect, FFT, interp) -> deconvolve
+    subproblems = None
+    if method is SpreadMethod.SM:
+        n_sub = estimate_subproblem_count(
+            stats_src.bin_counts, base_opts.max_subproblem_size
+        )
+        subproblems = SimpleNamespace(n_subproblems=max(1, n_sub))
+    for prof in spread_stage_profiles(
+        method, stats_src, kernel, precision, tpb, spec, subproblems=subproblems
+    ):
+        pipeline.add_kernel(prof, phase="exec")
+    pipeline.add_kernel(
+        deconvolve_kernel_profile(t3_grid, cplx, name="precorrect"), phase="exec"
+    )
+    pipeline.add_kernel(fft_kernel_profile(inner_fine, cplx), phase="exec")
+    for prof in interp_stage_profiles(
+        interp_method, stats_tgt, kernel, precision, tpb, spec
+    ):
+        pipeline.add_kernel(prof, phase="exec")
+    pipeline.add_kernel(
+        deconvolve_kernel_profile((n_points,), cplx, name="t3_deconvolve"),
+        phase="exec",
+    )
+
+    # --- transfers and allocations ---------------------------------------
+    n_t3 = float(np.prod(t3_grid))
+    n_inner = float(np.prod(inner_fine))
+    alloc_bytes = (n_t3 + 2.0 * n_inner) * cplx       # t3 grid + inner grid/wk
+    alloc_bytes += 2.0 * ndim * n_points * real       # source + target coords
+    alloc_bytes += 2.0 * n_points * cplx              # pre/post phase vectors
+    alloc_bytes += 2.0 * 2.0 * 4.0 * n_points         # two bin sorts (int32 x2)
+    pipeline.add_transfer("alloc", alloc_bytes, "plan allocations")
+    pipeline.add_transfer("h2d", 2.0 * ndim * n_points * real, "points + targets")
+    pipeline.add_transfer("h2d", n_points * cplx, "strengths")
+    pipeline.add_transfer("d2h", n_points * cplx, "target values")
+
+    cost = CostModel(spec=spec, precision_itemsize=real)
+    times = cost.pipeline_times(pipeline)
+    spread_time = sum(
+        cost.kernel_time(k)
+        for k in pipeline.exec_kernels()
+        if k.name.startswith(("spread", "interp"))
+    )
+    spread_fraction = spread_time / times["exec"] if times["exec"] > 0 else 0.0
+
+    return ModelResult(
+        times=times,
+        n_points=n_points,
+        ram_mb=alloc_bytes / (1024.0 * 1024.0) + CUDA_CONTEXT_MB,
+        spread_fraction=spread_fraction,
+        error_estimate=kernel.estimated_error(),
+        meta={
+            "method": method.value,
+            "backend": backend.name,
+            "kernel_width": kernel.width,
+            "fine_shape": inner_fine,
+            "t3_grid": t3_grid,
+            "bin_shape": bin_shape,
+            "precision": precision.value,
+            "nufft_type": 3,
+            "distribution": distribution,
+        },
+    )
+
+
 def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
                     distribution="rand", precision="single", opts=None,
                     spec=None, rng=None, max_sample=DEFAULT_MAX_SAMPLE,
-                    spread_only=False, fine_shape=None, stats=None):
+                    spread_only=False, fine_shape=None, stats=None,
+                    backend="device_sim"):
     """Model the paper's three timings for one cuFINUFFT transform.
 
     Parameters mirror :class:`repro.core.plan.Plan`; ``spread_only`` restricts
@@ -131,6 +245,20 @@ def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
     fine grid directly).  ``stats`` can supply precomputed
     :class:`~repro.core.binsort.SpreadStats` to avoid repeated sampling.
 
+    For ``nufft_type=3`` there are no uniform modes: ``n_modes`` is read as
+    the size of the rescaled composition grid (``nf ~ 2 sigma S X / pi`` per
+    dimension, the grid a real type-3 plan derives in ``set_pts``) and the
+    model prices the full type-2∘scale∘type-1 pipeline -- spread onto that
+    grid, then the inner type-2 (pre-correct, FFT on the doubly-upsampled
+    grid, interpolation at the targets) plus the target-frequency
+    deconvolution, assuming as many targets as sources.
+
+    The kernel profiles are assembled through the same
+    :mod:`repro.backends.device_sim` stage dispatch an executed plan uses, so
+    modelled and measured pipelines can never diverge.  ``backend`` must
+    therefore name a profile-recording backend (``"device_sim"`` or
+    ``"auto"``); the pure-numerics backends have no modelled device time.
+
     Returns
     -------
     ModelResult
@@ -138,6 +266,12 @@ def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
     spec = spec if spec is not None else V100_SPEC
     precision = Precision.parse(precision)
     base_opts = opts if opts is not None else Opts(precision=precision)
+    resolved_backend = get_backend(base_opts.copy(backend=backend).resolve_backend())
+    if not resolved_backend.records_profiles:
+        raise ValueError(
+            f"backend {resolved_backend.name!r} records no kernel profiles; "
+            "modelled timings require a device-sim backend"
+        )
     n_modes = tuple(int(n) for n in n_modes)
     ndim = len(n_modes)
     method = SpreadMethod.parse(method)
@@ -145,6 +279,11 @@ def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
         method = base_opts.resolve_method(nufft_type, ndim, precision)
 
     kernel = ESKernel.from_tolerance(eps)
+    if nufft_type == 3:
+        return _model_type3(
+            n_modes, n_points, eps, method, distribution, precision,
+            base_opts, spec, rng, max_sample, kernel, resolved_backend,
+        )
     if fine_shape is None:
         fine_shape = fine_grid_shape(n_modes, kernel.width, base_opts.upsampfac)
     fine_shape = tuple(int(n) for n in fine_shape)
@@ -176,22 +315,19 @@ def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
         ):
             pipeline.add_kernel(prof, phase="setup")
 
-    # --- exec phase ------------------------------------------------------
+    # --- exec phase (same stage->profile dispatch as the device_sim backend)
     if nufft_type == 1:
+        subproblems = None
         if method is SpreadMethod.SM:
             n_sub = estimate_subproblem_count(stats.bin_counts, base_opts.max_subproblem_size)
             subproblems = SimpleNamespace(n_subproblems=max(1, n_sub))
-            profiles = spread_sm_kernel_profiles(
-                stats, kernel, precision, subproblems, base_opts.threads_per_block, spec
-            )
-        else:
-            profiles = spread_kernel_profiles(
-                method, stats, kernel, precision, base_opts.threads_per_block, spec
-            )
+        profiles = spread_stage_profiles(
+            method, stats, kernel, precision, base_opts.threads_per_block, spec,
+            subproblems=subproblems,
+        )
     else:
-        interp_method = method if method is not SpreadMethod.SM else SpreadMethod.GM_SORT
-        profiles = interp_kernel_profiles(
-            interp_method, stats, kernel, precision, base_opts.threads_per_block, spec
+        profiles = interp_stage_profiles(
+            method, stats, kernel, precision, base_opts.threads_per_block, spec
         )
     for prof in profiles:
         pipeline.add_kernel(prof, phase="exec")
@@ -240,6 +376,7 @@ def model_cufinufft(nufft_type, n_modes, n_points, eps, method="auto",
         error_estimate=kernel.estimated_error(),
         meta={
             "method": method.value,
+            "backend": resolved_backend.name,
             "kernel_width": kernel.width,
             "fine_shape": fine_shape,
             "bin_shape": bin_shape,

@@ -29,9 +29,11 @@ __all__ = ["MergingOperator", "merge_slices"]
 class MergingOperator:
     """Reusable merging operator: one plan shared by the two type-1 NUFFTs."""
 
-    def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double"):
+    def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double",
+                 backend="auto"):
         self.n_modes = tuple(int(n) for n in n_modes)
-        self.plan = Plan(1, self.n_modes, eps=eps, precision=precision, device=device)
+        self.plan = Plan(1, self.n_modes, eps=eps, precision=precision, device=device,
+                         backend=backend)
         self.n_points = 0
         self._weights = None
         self._taper = self._build_taper()
@@ -126,9 +128,10 @@ class MergingOperator:
 
 
 def merge_slices(slice_values, slice_points, n_modes, eps=1e-12, device=None,
-                 precision="double", relative_cutoff=0.1):
+                 precision="double", relative_cutoff=0.1, backend="auto"):
     """One-shot merging convenience wrapper."""
-    op = MergingOperator(n_modes, slice_points, eps=eps, device=device, precision=precision)
+    op = MergingOperator(n_modes, slice_points, eps=eps, device=device,
+                         precision=precision, backend=backend)
     try:
         return op(slice_values, relative_cutoff=relative_cutoff)
     finally:

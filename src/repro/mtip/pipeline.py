@@ -44,6 +44,7 @@ class MTIPConfig:
     n_blobs: int = 6
     phasing_iterations: int = 60
     precision: str = "double"
+    backend: str = "auto"
     seed: int = 0
 
 
@@ -104,7 +105,7 @@ class MTIPReconstruction:
         )
         n_modes3 = (cfg.n_modes,) * 3
         slicer = SlicingOperator(n_modes3, points, eps=cfg.eps, device=self.device,
-                                 precision=cfg.precision)
+                                 precision=cfg.precision, backend=cfg.backend)
         values = slicer(self.true_modes)
         slicer.destroy()
         intensities = np.abs(values.reshape(cfg.n_images, -1)) ** 2
@@ -130,7 +131,7 @@ class MTIPReconstruction:
         if self._slicer is None:
             self._slicer = SlicingOperator(
                 (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
-                precision=cfg.precision,
+                precision=cfg.precision, backend=cfg.backend,
             )
         else:
             self._slicer.set_points(points)
@@ -141,7 +142,7 @@ class MTIPReconstruction:
         if self._merger is None:
             self._merger = MergingOperator(
                 (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
-                precision=cfg.precision,
+                precision=cfg.precision, backend=cfg.backend,
             )
         else:
             self._merger.set_points(points)

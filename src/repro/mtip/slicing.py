@@ -47,11 +47,16 @@ class SlicingOperator:
         NUFFT tolerance (1e-12 in the paper's M-TIP runs).
     device : Device, optional
         Simulated GPU to run on (for the multi-GPU drivers).
+    backend : str, optional
+        Execution backend of the plan (see :mod:`repro.backends`); the
+        default ``"auto"`` resolves to the profiled ``device_sim``.
     """
 
-    def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double"):
+    def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double",
+                 backend="auto"):
         self.n_modes = tuple(int(n) for n in n_modes)
-        self.plan = Plan(2, self.n_modes, eps=eps, precision=precision, device=device)
+        self.plan = Plan(2, self.n_modes, eps=eps, precision=precision, device=device,
+                         backend=backend)
         self.n_points = 0
         self.set_points(slice_points)
 
@@ -103,10 +108,10 @@ class SlicingOperator:
 
 
 def slice_fourier_model(fourier_model, slice_points, eps=1e-12, device=None,
-                        precision="double"):
+                        precision="double", backend="auto"):
     """One-shot slicing convenience wrapper (builds and destroys the operator)."""
     op = SlicingOperator(np.asarray(fourier_model).shape, slice_points, eps=eps,
-                         device=device, precision=precision)
+                         device=device, precision=precision, backend=backend)
     try:
         return op(fourier_model)
     finally:

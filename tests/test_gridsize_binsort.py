@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.binsort import (
-    BinSort,
     SpreadStats,
     bin_sort,
     binsort_kernel_profiles,

@@ -165,6 +165,28 @@ class TestBaselineNumerics:
         assert sm.supports(1, 2, "double", 1e-12)
         assert not sm.supports(1, 3, "double", 1e-9)   # Remark 2
         assert sm.supports(1, 3, "single", 1e-5)
+        # types 1-3 in dimensions 1-3 are in the matrix now
+        assert sm.supports(1, 1, "double", 1e-9)
+        assert sm.supports(3, 2, "double", 1e-9)
+        assert not sm.supports(3, 3, "double", 1e-9)   # type-3 spreads like type 1
+        assert not sm.supports(4, 2, "single", 1e-5)
+
+    def test_cufinufft_make_plan_runs_real_numerics(self, rng):
+        from repro.core.options import SpreadMethod
+
+        lib = get_library("cufinufft (GM-sort)")
+        m = 400
+        x = rng.uniform(-np.pi, np.pi, m)
+        y = rng.uniform(-np.pi, np.pi, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        with lib.make_plan(1, (18, 18), eps=1e-8, precision="double") as plan:
+            assert plan.method is SpreadMethod.GM_SORT
+            assert plan.backend.name == "device_sim"
+            plan.set_pts(x, y)
+            f = plan.execute(c)
+            assert plan.timings()["exec"] > 0  # adapter keeps modelled timings
+        exact = nudft_type1([x, y], c, (18, 18))
+        assert relative_l2_error(f, exact) < 1e-6
 
 
 class TestBaselineModelShapes:

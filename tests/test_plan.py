@@ -25,15 +25,19 @@ from tests.conftest import make_points_2d, make_points_3d
 class TestPlanConstruction:
     def test_invalid_type_and_dims(self):
         with pytest.raises(ValueError):
-            Plan(3, (16, 16))
+            Plan(4, (16, 16))
         with pytest.raises(ValueError):
-            Plan(1, (16,))
+            Plan(0, (16, 16))
         with pytest.raises(ValueError):
             Plan(1, (16, 16, 16, 16))
         with pytest.raises(ValueError):
             Plan(1, (0, 16))
         with pytest.raises(ValueError):
             Plan(1, (16, 16), n_trans=0)
+        with pytest.raises(ValueError):
+            Plan(3, 4)  # type-3 dimension out of range
+        with pytest.raises(ValueError):
+            Plan(1, (16, 16), backend="no-such-backend")
 
     def test_method_resolution(self):
         assert Plan(1, (16, 16)).method is SpreadMethod.SM
@@ -150,6 +154,52 @@ class TestExecute:
         assert returned is out
         assert np.any(out != 0)
 
+    def test_out_validation_rejects_wrong_shape(self, rng):
+        x, y, c = make_points_2d(rng, m=200)
+        with Plan(1, (12, 12), precision="double") as plan:
+            plan.set_pts(x, y)
+            with pytest.raises(ValueError, match="shape"):
+                plan.execute(c, out=np.empty((12, 13), dtype=np.complex128))
+            with pytest.raises(ValueError, match="shape"):
+                # broadcastable but not exact: must be rejected, not broadcast
+                plan.execute(c, out=np.empty((1, 12, 12), dtype=np.complex128))
+
+    def test_out_validation_rejects_wrong_dtype(self, rng):
+        x, y, c = make_points_2d(rng, m=200)
+        with Plan(1, (12, 12), precision="double") as plan:
+            plan.set_pts(x, y)
+            with pytest.raises(ValueError, match="dtype"):
+                plan.execute(c, out=np.empty((12, 12), dtype=np.complex64))
+            with pytest.raises(ValueError, match="dtype"):
+                plan.execute(c, out=np.empty((12, 12), dtype=np.float64))
+        with Plan(1, (12, 12), precision="single") as plan:
+            plan.set_pts(x, y)
+            with pytest.raises(ValueError, match="dtype"):
+                plan.execute(c.astype(np.complex64),
+                             out=np.empty((12, 12), dtype=np.complex128))
+
+    def test_out_validation_rejects_non_array(self, rng):
+        x, y, c = make_points_2d(rng, m=100)
+        with Plan(1, (8, 8), precision="double") as plan:
+            plan.set_pts(x, y)
+            with pytest.raises(ValueError, match="numpy array"):
+                plan.execute(c, out=[[0.0] * 8] * 8)
+
+    def test_out_argument_batched_and_type2(self, rng):
+        x, y, _ = make_points_2d(rng, m=150)
+        block = rng.standard_normal((2, 150)) + 1j * rng.standard_normal((2, 150))
+        with Plan(1, (10, 10), n_trans=2, precision="double") as plan:
+            plan.set_pts(x, y)
+            out = np.empty((2, 10, 10), dtype=np.complex128)
+            assert plan.execute(block, out=out) is out
+            with pytest.raises(ValueError):
+                plan.execute(block, out=np.empty((10, 10), dtype=np.complex128))
+        modes = rng.standard_normal((10, 10)) + 1j * rng.standard_normal((10, 10))
+        with Plan(2, (10, 10), precision="double") as plan:
+            plan.set_pts(x, y)
+            out = np.empty(150, dtype=np.complex128)
+            assert plan.execute(modes, out=out) is out
+
     def test_spread_only_mode(self, rng):
         x, y, c = make_points_2d(rng, m=300)
         with Plan(1, (16, 16), eps=1e-4, spread_only=True) as plan:
@@ -215,6 +265,35 @@ class TestTimingsAndMemory:
         plan.destroy()
         with pytest.raises(RuntimeError):
             plan.set_pts(x, y)
+        with pytest.raises(RuntimeError):
+            plan.execute(c.astype(np.complex64))
+
+    def test_destroy_is_idempotent(self, rng):
+        x, y, c = make_points_2d(rng, m=100)
+        plan = Plan(1, (8, 8), precision="double")
+        plan.set_pts(x, y)
+        plan.execute(c)
+        plan.destroy()
+        plan.destroy()  # second destroy is a no-op, not an error
+        assert plan.device.memory.allocated_bytes == 0
+
+    def test_context_manager_destroys_plan(self, rng):
+        x, y, c = make_points_2d(rng, m=100)
+        with Plan(1, (8, 8), precision="double") as plan:
+            assert plan is plan.__enter__()  # re-entrant handle
+            plan.set_pts(x, y)
+            plan.execute(c)
+        assert plan._destroyed
+        assert plan.device.memory.allocated_bytes == 0
+        plan.destroy()  # destroying after the with-block is still fine
+
+    def test_context_manager_destroys_on_exception(self, rng):
+        x, y, c = make_points_2d(rng, m=100)
+        with pytest.raises(RuntimeError, match="sentinel"):
+            with Plan(1, (8, 8), precision="double") as plan:
+                plan.set_pts(x, y)
+                raise RuntimeError("sentinel")
+        assert plan.device.memory.allocated_bytes == 0
 
     def test_shared_device_accumulates_allocations(self, rng):
         device = Device()

@@ -1,0 +1,258 @@
+"""Accuracy and interface tests for the 1D transforms and the type-3
+(nonuniform -> nonuniform) transforms, validated against the direct O(NM)
+sums in :mod:`repro.core.exact`."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Plan,
+    nudft_type1,
+    nudft_type2,
+    nudft_type3,
+    nufft1d1,
+    nufft1d2,
+    nufft1d3,
+    nufft2d3,
+    nufft3d3,
+    relative_l2_error,
+)
+from repro.core.gridsize import is_smooth_235, next_smooth_even_235
+
+
+class TestGridsize1DHelpers:
+    def test_next_smooth_even(self):
+        for n in (1, 2, 3, 7, 25, 27, 81, 100, 243):
+            out = next_smooth_even_235(n)
+            assert out >= max(2, n)
+            assert out % 2 == 0
+            assert is_smooth_235(out)
+
+
+class Test1DType1Type2:
+    def test_1d_type1_roundtrip_exact(self, rng):
+        m = 900
+        x = rng.uniform(-np.pi, np.pi, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        with Plan(1, (48,), eps=1e-9, precision="double") as plan:
+            plan.set_pts(x)
+            f = plan.execute(c)
+        assert f.shape == (48,)
+        exact = nudft_type1([x], c, (48,))
+        assert relative_l2_error(f, exact) < 1e-7
+
+    def test_1d_type2_roundtrip_exact(self, rng):
+        m = 700
+        x = rng.uniform(-np.pi, np.pi, m)
+        modes = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        with Plan(2, (40,), eps=1e-9, precision="double") as plan:
+            plan.set_pts(x)
+            vals = plan.execute(modes)
+        exact = nudft_type2([x], modes)
+        assert relative_l2_error(vals, exact) < 1e-7
+
+    def test_1d_batched(self, rng):
+        m = 500
+        x = rng.uniform(-np.pi, np.pi, m)
+        block = rng.standard_normal((4, m)) + 1j * rng.standard_normal((4, m))
+        with Plan(1, (32,), n_trans=4, eps=1e-8, precision="double") as plan:
+            plan.set_pts(x)
+            out = plan.execute(block)
+        assert out.shape == (4, 32)
+        for t in range(4):
+            exact = nudft_type1([x], block[t], (32,))
+            assert relative_l2_error(out[t], exact) < 1e-6
+
+    @pytest.mark.parametrize("method", ["GM", "GM-sort", "SM"])
+    def test_1d_methods_agree(self, rng, method):
+        m = 600
+        x = rng.uniform(-np.pi, np.pi, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        with Plan(1, (36,), eps=1e-7, precision="double", method=method,
+                  backend="reference") as plan:
+            plan.set_pts(x)
+            f = plan.execute(c)
+        exact = nudft_type1([x], c, (36,))
+        assert relative_l2_error(f, exact) < 1e-5
+
+    def test_1d_simple_api(self, rng):
+        m = 400
+        x = rng.uniform(-np.pi, np.pi, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        f = nufft1d1(x, c, 30, eps=1e-8, precision="double")
+        assert relative_l2_error(f, nudft_type1([x], c, (30,))) < 1e-6
+        vals = nufft1d2(x, f, eps=1e-8, precision="double")
+        assert relative_l2_error(vals, nudft_type2([x], f)) < 1e-6
+
+    def test_1d_rejects_extra_coordinate(self, rng):
+        plan = Plan(1, (16,))
+        with pytest.raises(ValueError):
+            plan.set_pts(np.zeros(10), np.zeros(10))
+        plan.destroy()
+
+
+class TestType3:
+    def _check(self, rng, ndim, eps=1e-9, tol=1e-6, m=400, nk=350,
+               target_scale=25.0, **plan_kwargs):
+        coords = [rng.uniform(-np.pi, np.pi, m) for _ in range(ndim)]
+        targets = [rng.uniform(-target_scale, target_scale, nk) for _ in range(ndim)]
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        kw = dict(zip(("s", "t", "u"), targets))
+        with Plan(3, ndim, eps=eps, precision="double", **plan_kwargs) as plan:
+            plan.set_pts(*coords, **kw)
+            f = plan.execute(c)
+        assert f.shape == (nk,)
+        exact = nudft_type3(coords, c, targets)
+        assert relative_l2_error(f, exact) < tol
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_roundtrip_exact(self, rng, ndim):
+        self._check(rng, ndim)
+
+    def test_off_centre_sources_and_targets(self, rng):
+        # centring: sources in an offset box, targets in a shifted band
+        m, nk = 500, 400
+        x = rng.uniform(4.0, 9.0, m)
+        s = rng.uniform(80.0, 140.0, nk)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        with Plan(3, 1, eps=1e-9, precision="double") as plan:
+            plan.set_pts(x, s=s)
+            f = plan.execute(c)
+        exact = nudft_type3([x], c, [s])
+        assert relative_l2_error(f, exact) < 1e-6
+
+    def test_degenerate_extents(self, rng):
+        # all sources coincident: f_k = c_tot * exp(i s_k x0)
+        nk = 60
+        x = np.full(16, 0.37)
+        s = rng.uniform(-8.0, 8.0, nk)
+        c = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        with Plan(3, 1, eps=1e-8, precision="double") as plan:
+            plan.set_pts(x, s=s)
+            f = plan.execute(c)
+        exact = nudft_type3([x], c, [s])
+        assert relative_l2_error(f, exact) < 1e-6
+
+    def test_batched(self, rng):
+        m, nk = 300, 250
+        x = rng.uniform(-np.pi, np.pi, m)
+        s = rng.uniform(-30.0, 30.0, nk)
+        block = rng.standard_normal((3, m)) + 1j * rng.standard_normal((3, m))
+        with Plan(3, 1, n_trans=3, eps=1e-8, precision="double") as plan:
+            plan.set_pts(x, s=s)
+            out = plan.execute(block)
+        assert out.shape == (3, nk)
+        for t in range(3):
+            exact = nudft_type3([x], block[t], [s])
+            assert relative_l2_error(out[t], exact) < 1e-6
+
+    def test_repeated_execute_and_set_pts(self, rng):
+        m, nk = 250, 200
+        x = rng.uniform(-np.pi, np.pi, m)
+        s = rng.uniform(-20.0, 20.0, nk)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        d = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        with Plan(3, 1, eps=1e-8, precision="double") as plan:
+            plan.set_pts(x, s=s)
+            fc = plan.execute(c)
+            fd = plan.execute(d)
+            assert relative_l2_error(fd, nudft_type3([x], d, [s])) < 1e-6
+            # re-point: new sources and a different number of targets
+            x2 = rng.uniform(-np.pi, np.pi, m)
+            s2 = rng.uniform(-12.0, 12.0, nk + 40)
+            plan.set_pts(x2, s=s2)
+            f2 = plan.execute(c)
+            assert f2.shape == (nk + 40,)
+            assert relative_l2_error(f2, nudft_type3([x2], c, [s2])) < 1e-6
+        assert relative_l2_error(fc, nudft_type3([x], c, [s])) < 1e-6
+
+    def test_single_precision_dtype(self, rng):
+        m, nk = 200, 150
+        x = rng.uniform(-np.pi, np.pi, m)
+        s = rng.uniform(-15.0, 15.0, nk)
+        c = (rng.standard_normal(m) + 1j * rng.standard_normal(m)).astype(np.complex64)
+        with Plan(3, 1, eps=1e-5, precision="single") as plan:
+            plan.set_pts(x, s=s)
+            f = plan.execute(c)
+        assert f.dtype == np.complex64
+        assert relative_l2_error(f, nudft_type3([x], c, [s])) < 1e-3
+
+    def test_simple_api_wrappers(self, rng):
+        m, nk = 300, 200
+        pts = [rng.uniform(-np.pi, np.pi, m) for _ in range(3)]
+        tgt = [rng.uniform(-18.0, 18.0, nk) for _ in range(3)]
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        f1 = nufft1d3(pts[0], c, tgt[0], eps=1e-8, precision="double")
+        assert relative_l2_error(f1, nudft_type3(pts[:1], c, tgt[:1])) < 1e-6
+        f2 = nufft2d3(pts[0], pts[1], c, tgt[0], tgt[1], eps=1e-8, precision="double")
+        assert relative_l2_error(f2, nudft_type3(pts[:2], c, tgt[:2])) < 1e-6
+        f3 = nufft3d3(*pts[:3], c, *tgt[:3], eps=1e-7, precision="double")
+        assert relative_l2_error(f3, nudft_type3(pts, c, tgt)) < 1e-5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Plan(3, 1, spread_only=True)
+        plan = Plan(3, 2)
+        with pytest.raises(ValueError):  # missing targets
+            plan.set_pts(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):  # missing second target dim
+            plan.set_pts(np.zeros(5), np.zeros(5), s=np.zeros(5))
+        with pytest.raises(ValueError):  # mismatched target lengths
+            plan.set_pts(np.zeros(5), np.zeros(5), s=np.zeros(4), t=np.zeros(6))
+        with pytest.raises(RuntimeError):  # no points yet
+            plan.execute(np.zeros(5, dtype=complex))
+        plan.destroy()
+        # type-1/2 plans reject target frequencies
+        plan12 = Plan(1, (16, 16))
+        with pytest.raises(ValueError):
+            plan12.set_pts(np.zeros(5), np.zeros(5), s=np.zeros(5))
+        plan12.destroy()
+
+    def test_type3_ram_and_destroy(self, rng):
+        m, nk = 200, 150
+        x = rng.uniform(-np.pi, np.pi, m)
+        s = rng.uniform(-10.0, 10.0, nk)
+        plan = Plan(3, 1, eps=1e-6, precision="double")
+        plan.set_pts(x, s=s)
+        assert plan.device.memory.allocated_bytes > 0
+        report = plan.report()
+        assert "type 3" in report and "targets" in report
+        plan.destroy()
+        assert plan.device.memory.allocated_bytes == 0
+        plan.destroy()  # idempotent
+
+    def test_exact_type3_validation(self):
+        with pytest.raises(ValueError):
+            nudft_type3([np.zeros(4)], np.zeros(4, dtype=complex),
+                        [np.zeros(3), np.zeros(3)])
+
+    def test_failed_set_pts_leaves_plan_clean(self, rng):
+        from repro.gpu.memory import OutOfDeviceMemory
+
+        m = 150
+        x = rng.uniform(-np.pi, np.pi, m)
+        s = rng.uniform(-10.0, 10.0, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        plan = Plan(3, 1, eps=1e-6, precision="double")
+        plan.set_pts(x, s=s)
+        # huge spectral extent -> t3 fine grid exceeds the simulated 16 GB
+        with pytest.raises(OutOfDeviceMemory):
+            plan.set_pts(x, s=rng.uniform(-1e9, 1e9, m))
+        with pytest.raises(RuntimeError, match="set_pts"):
+            plan.execute(c)  # clean error, not a crash on stale geometry
+        plan.set_pts(x, s=s)  # the plan is still usable
+        f = plan.execute(c)
+        assert relative_l2_error(f, nudft_type3([x], c, [s])) < 1e-4
+        plan.destroy()
+
+    def test_type3_modelled_times(self):
+        from repro.metrics.modeling import model_cufinufft
+
+        t2 = model_cufinufft(2, (64, 64), 200_000, 1e-9, precision="double", rng=0)
+        t3 = model_cufinufft(3, (64, 64), 200_000, 1e-9, precision="double", rng=0)
+        # type 3 = spread + the full inner type 2, so it must cost strictly more
+        assert t3.times["exec"] > t2.times["exec"]
+        assert t3.times["setup"] > t2.times["setup"]  # two bin sorts
+        assert t3.meta["nufft_type"] == 3
+        assert t3.meta["t3_grid"] == (64, 64)
+        assert t3.spread_fraction > 0.5  # spread/interp dominated, like type 1
