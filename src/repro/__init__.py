@@ -24,6 +24,7 @@ Quickstart
 """
 
 from .backends import available_backends, get_backend, register_backend
+from .service import TransformRequest, TransformResult, TransformService
 from .core import (
     Opts,
     Plan,
@@ -55,6 +56,9 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "TransformService",
+    "TransformRequest",
+    "TransformResult",
     "nufft1d1",
     "nufft1d2",
     "nufft1d3",

@@ -66,10 +66,16 @@ class DeviceSimBackend(ExecutionBackend):
         return get_backend("cached" if plan._stencil is not None else "reference")
 
     @staticmethod
-    def _add_per_transform(pipeline, profiles, n_trans):
-        for _ in range(n_trans):
-            for prof in profiles:
-                pipeline.add_kernel(prof, phase="exec")
+    def _add_fused_stage(pipeline, profiles, n_trans):
+        """Record one fused launch per stage kernel.
+
+        The batched engine processes all ``n_trans`` transforms of a stage in
+        a single pass, so the *work* scales with the batch but the launch
+        does not -- matching cuFINUFFT's batched kernels.  (``n_trans=1``
+        records the profiles unchanged.)
+        """
+        for prof in profiles:
+            pipeline.add_kernel(prof.scaled(n_trans), phase="exec")
 
     # ------------------------------------------------------------------ #
     def spread(self, plan, strengths, pipeline):
@@ -81,11 +87,11 @@ class DeviceSimBackend(ExecutionBackend):
             plan.method, plan._sort, plan.kernel, plan.precision,
             plan.opts.threads_per_block, plan.device.spec, subproblems=subproblems,
         )
-        self._add_per_transform(pipeline, profiles, strengths.shape[0])
+        self._add_fused_stage(pipeline, profiles, strengths.shape[0])
         return fine
 
     def fft_forward(self, plan, fine, pipeline):
-        # DeviceFFT records one cufft profile per batch element by itself.
+        # DeviceFFT records one fused batched-cufft profile by itself.
         return self._numerics(plan).fft_forward(plan, fine, pipeline)
 
     def fft_inverse(self, plan, fine, pipeline):
@@ -96,7 +102,7 @@ class DeviceSimBackend(ExecutionBackend):
         profile = deconvolve_kernel_profile(
             plan.n_modes, plan.precision.complex_itemsize
         )
-        self._add_per_transform(pipeline, [profile], fine_hat.shape[0])
+        self._add_fused_stage(pipeline, [profile], fine_hat.shape[0])
         return modes
 
     def precorrect(self, plan, modes, pipeline):
@@ -104,7 +110,7 @@ class DeviceSimBackend(ExecutionBackend):
         profile = deconvolve_kernel_profile(
             plan.n_modes, plan.precision.complex_itemsize, name="precorrect"
         )
-        self._add_per_transform(pipeline, [profile], modes.shape[0])
+        self._add_fused_stage(pipeline, [profile], modes.shape[0])
         return fine
 
     def interp(self, plan, fine, pipeline):
@@ -113,5 +119,5 @@ class DeviceSimBackend(ExecutionBackend):
             plan.interp_method, plan._sort, plan.kernel, plan.precision,
             plan.opts.threads_per_block, plan.device.spec,
         )
-        self._add_per_transform(pipeline, profiles, fine.shape[0])
+        self._add_fused_stage(pipeline, profiles, fine.shape[0])
         return result

@@ -14,15 +14,26 @@ environment in-process:
 """
 
 from .comm import SimComm, CommCostModel
+from .fleet import DeviceFleet
 from .node import Node, CORI_GPU_NODE, SUMMIT_NODE
-from .weak_scaling import WeakScalingResult, run_weak_scaling
+from .weak_scaling import (
+    FleetScalingPoint,
+    FleetScalingResult,
+    WeakScalingResult,
+    run_weak_scaling,
+    run_weak_scaling_fleet,
+)
 
 __all__ = [
     "SimComm",
     "CommCostModel",
+    "DeviceFleet",
     "Node",
     "CORI_GPU_NODE",
     "SUMMIT_NODE",
+    "FleetScalingPoint",
+    "FleetScalingResult",
     "WeakScalingResult",
     "run_weak_scaling",
+    "run_weak_scaling_fleet",
 ]

@@ -1,0 +1,131 @@
+"""Device fleet: a pool of simulated GPUs with streams and a scheduler.
+
+Where :class:`~repro.cluster.node.Node` mirrors the paper's MPI deployment
+(one process per rank, ranks round-robined onto GPUs, contention once they
+share), the :class:`DeviceFleet` is the *serving* view of the same hardware:
+one process drives every device, each device carries a small set of CUDA-like
+:class:`~repro.gpu.device.Stream` objects, and work is placed by projected
+completion time rather than by rank index.  This is the substrate the
+:class:`~repro.service.TransformService` shards coalesced request blocks
+over, reproducing the shape of the paper's multi-GPU weak-scaling experiment
+(Fig. 9) in a request-serving setting.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import Device, V100_SPEC
+
+__all__ = ["DeviceFleet"]
+
+
+class DeviceFleet:
+    """A fleet of simulated devices with per-device streams.
+
+    Parameters
+    ----------
+    n_devices : int
+        Number of simulated GPUs in the fleet.
+    spec : DeviceSpec, optional
+        Hardware description shared by every device (paper V100 by default).
+    streams_per_device : int
+        Streams created on each device; two give the classic double-buffering
+        overlap of one block's d2h/h2d with the next block's kernels.
+    """
+
+    def __init__(self, n_devices=1, spec=None, streams_per_device=2):
+        n_devices = int(n_devices)
+        if n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        streams_per_device = int(streams_per_device)
+        if streams_per_device < 1:
+            raise ValueError(
+                f"streams_per_device must be >= 1, got {streams_per_device}"
+            )
+        self.spec = spec if spec is not None else V100_SPEC
+        self.streams_per_device = streams_per_device
+        self.devices = [Device(spec=self.spec, device_id=i) for i in range(n_devices)]
+        for dev in self.devices:
+            for _ in range(streams_per_device):
+                dev.create_stream()
+        self._stream_cursor = [0] * n_devices
+
+    @classmethod
+    def from_node(cls, node_spec, streams_per_device=2):
+        """Build a fleet matching a :class:`~repro.cluster.node.NodeSpec`."""
+        return cls(n_devices=node_spec.n_gpus, spec=node_spec.gpu_spec,
+                   streams_per_device=streams_per_device)
+
+    @property
+    def n_devices(self):
+        return len(self.devices)
+
+    def device(self, index):
+        return self.devices[index]
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def ranked(self):
+        """Devices ordered by projected completion time (least loaded first).
+
+        Ties (e.g. an idle fleet) resolve to the lowest device id, so a
+        sequence of equal-cost placements round-robins naturally: each
+        placement advances its device's frontier past its siblings'.  This is
+        *the* placement order -- the service uses it for block pinning and
+        plan acquisition alike.
+        """
+        return sorted(self.devices, key=lambda d: (d.timeline_makespan(), d.device_id))
+
+    def least_loaded(self):
+        """Device with the earliest projected completion time."""
+        return self.ranked()[0]
+
+    def next_stream(self, device):
+        """Round-robin over the device's streams (successive blocks overlap)."""
+        cursor = self._stream_cursor[device.device_id]
+        stream = device.streams[cursor % len(device.streams)]
+        self._stream_cursor[device.device_id] = cursor + 1
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def makespan(self):
+        """Fleet makespan: the latest completion over every device timeline."""
+        return max((d.timeline_makespan() for d in self.devices), default=0.0)
+
+    def utilization(self, engine="exec"):
+        """Per-device busy fraction of the *fleet* makespan for one engine.
+
+        Measured against the fleet-wide makespan (not each device's own) so
+        an idle device shows up as low utilization rather than vanishing from
+        the average.
+        """
+        makespan = self.makespan()
+        if makespan <= 0.0:
+            return [0.0] * self.n_devices
+        return [d.busy_seconds[engine] / makespan for d in self.devices]
+
+    def busy_seconds(self, engine="exec"):
+        """Total busy seconds of one engine summed over the fleet."""
+        return sum(d.busy_seconds[engine] for d in self.devices)
+
+    def reset_timelines(self):
+        """Rewind every device timeline to t=0 (allocations survive)."""
+        for dev in self.devices:
+            dev.reset_timeline()
+
+    def reset(self):
+        """Full reset: timelines, allocations and contexts on every device.
+
+        ``Device.reset`` drops the streams, so the per-device set is rebuilt.
+        """
+        for dev in self.devices:
+            dev.reset()
+            for _ in range(self.streams_per_device):
+                dev.create_stream()
+        self._stream_cursor = [0] * self.n_devices
+
+    def __repr__(self):  # pragma: no cover - debugging nicety
+        return (f"DeviceFleet(n_devices={self.n_devices}, "
+                f"spec={self.spec.name!r}, makespan={self.makespan():.6f}s)")

@@ -91,8 +91,16 @@ class Plan:
                  device=None, **opt_overrides):
         if nufft_type not in (1, 2, 3):
             raise ValueError(f"nufft_type must be 1, 2 or 3, got {nufft_type}")
-        if n_trans < 1:
+        n_trans_f = float(n_trans)
+        if not np.isfinite(n_trans_f) or n_trans_f != int(n_trans_f):
+            raise ValueError(
+                f"n_trans must be an integral number of transforms, got {n_trans!r}"
+            )
+        if n_trans_f < 1:
             raise ValueError(f"n_trans must be >= 1, got {n_trans}")
+        eps = float(eps)
+        if not np.isfinite(eps) or eps <= 0.0:
+            raise ValueError(f"eps must be a finite positive tolerance, got {eps}")
 
         self.nufft_type = int(nufft_type)
         if self.nufft_type == 3:
@@ -116,8 +124,8 @@ class Plan:
                 raise ValueError(f"all mode counts must be >= 1, got {n_modes}")
             self.n_modes = n_modes
             self.ndim = len(n_modes)
-        self.n_trans = int(n_trans)
-        self.eps = float(eps)
+        self.n_trans = int(n_trans_f)
+        self.eps = eps
 
         base_opts = opts if opts is not None else Opts()
         self.opts = base_opts.copy(**opt_overrides) if opt_overrides else base_opts.copy()
@@ -257,6 +265,16 @@ class Plan:
         Calling ``set_pts`` again replaces the previous points, exactly as in
         cuFINUFFT, so one plan can be reused across point sets of equal size
         or not.
+
+        Failure contract (all transform types): set_pts is all-or-nothing.
+        Every validation and host-side planning step -- shape/finiteness
+        checks, the type-3 fine-grid derivation and its kernel-transform
+        positivity check -- runs *before* the previous point set is released,
+        so a ``set_pts`` that raises leaves the plan executing on the old
+        points exactly as if it had never been called.  Only a simulated
+        device-allocation failure partway through the upload (e.g. OOM on the
+        type-3 fine grid) leaves the plan in the explicit "no points" state,
+        where ``execute`` raises until a subsequent set_pts succeeds.
         """
         self._require_live()
         coords = self._validated_arrays((x, y, z), _COORD_NAMES, "coordinate")
@@ -269,11 +287,15 @@ class Plan:
                 "target frequencies (s, t, u) are only accepted by type-3 plans"
             )
 
-        self._release_point_state()
-        self.n_points = coords[0].shape[0]
-        self._grid_coords = [
+        # All remaining planning is host-side arithmetic that cannot fail on
+        # validated inputs, so compute it before releasing the old point set
+        # (the all-or-nothing contract above).
+        grid_coords = [
             to_grid_coordinates(coords[d], self.fine_shape[d]) for d in range(self.ndim)
         ]
+        self._release_point_state()
+        self.n_points = coords[0].shape[0]
+        self._grid_coords = grid_coords
         self._upload_points(coords)
         self._build_point_precompute()
         self._points_ready = True
@@ -295,9 +317,14 @@ class Plan:
                 )
         out = [np.asarray(a, dtype=np.float64) for a in arrays[:self.ndim]]
         m = out[0].shape[0] if out[0].ndim == 1 else -1
-        for a in out:
+        for d, a in enumerate(out):
             if a.ndim != 1 or a.shape[0] != m:
                 raise ValueError(f"{what} arrays must be 1-D and of equal length")
+            if not np.all(np.isfinite(a)):
+                raise ValueError(
+                    f"{what} array {names[d]!r} contains non-finite values "
+                    "(NaN or Inf); nonuniform points must be finite reals"
+                )
         if m == 0:
             raise ValueError(f"at least one nonuniform {what} is required")
         return out
@@ -305,10 +332,12 @@ class Plan:
     def _release_point_state(self):
         """Free buffers and precompute tied to the previous point set.
 
-        Also marks the plan as having no usable points until the in-flight
-        set_pts finishes, so a failure partway through planning leaves the
-        plan refusing execute with a clear error instead of crashing deep in
-        a stage on stale geometry.
+        Callers must complete every fallible validation/planning step *before*
+        invoking this (the all-or-nothing set_pts contract).  Once called, the
+        plan has no usable points until the in-flight set_pts finishes, so a
+        simulated allocation failure during the upload leaves the plan
+        refusing execute with a clear error instead of crashing deep in a
+        stage on stale geometry.
         """
         self._points_ready = False
         for buf in self._point_buffers:
@@ -400,11 +429,8 @@ class Plan:
         inner type-2 plan, and divides by the kernel transform at the exact
         (non-integer) target frequencies.
         """
-        self._release_point_state()
         m = coords[0].shape[0]
         nk = targets[0].shape[0]
-        self.n_points = m
-        self.n_targets = nk
 
         sigma = self.opts.upsampfac
         w = self.kernel.width
@@ -433,22 +459,25 @@ class Plan:
             centers_s.append(cs)
             spread_half.append(half_s)
 
-        self.fine_shape = tuple(fine)
-        self._grid_coords = [
-            to_grid_coordinates((coords[d] - centers_x[d]) / gamma[d], self.fine_shape[d])
+        fine_shape = tuple(fine)
+        grid_coords = [
+            to_grid_coordinates((coords[d] - centers_x[d]) / gamma[d], fine_shape[d])
             for d in range(self.ndim)
         ]
 
         # Pre-phase e^{i cs.(x-cx)} folds the target centring into the
         # strengths; the post factors carry the source centring e^{i s.cx} and
-        # the kernel deconvolution at the exact target frequencies.
+        # the kernel deconvolution at the exact target frequencies.  The
+        # positivity check below is the last step that can reject the inputs,
+        # so everything up to here runs on locals: a failure preserves the
+        # previous point set (the all-or-nothing set_pts contract).
         prephase = np.zeros(m)
         postphase = np.zeros(nk)
         factors = np.ones(nk)
         for d in range(self.ndim):
             prephase += centers_s[d] * (coords[d] - centers_x[d])
             postphase += centers_x[d] * targets[d]
-            alpha = w * np.pi / self.fine_shape[d]
+            alpha = w * np.pi / fine_shape[d]
             xi = alpha * gamma[d] * (targets[d] - centers_s[d])
             phihat = self.kernel.fourier_transform(xi)
             if np.any(phihat <= 0):
@@ -457,6 +486,12 @@ class Plan:
                     "frequencies; the requested tolerance is unattainable"
                 )
             factors *= (2.0 / w) / phihat
+
+        self._release_point_state()
+        self.n_points = m
+        self.n_targets = nk
+        self.fine_shape = fine_shape
+        self._grid_coords = grid_coords
         self._t3_prephase = np.exp(1j * prephase)
         self._t3_postphase = factors * np.exp(1j * postphase)
 

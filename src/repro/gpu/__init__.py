@@ -28,7 +28,7 @@ Public entry points
   accounting.
 """
 
-from .device import DeviceSpec, Device, V100_SPEC
+from .device import DeviceSpec, Device, V100_SPEC, Stream, Event
 from .memory import DeviceBuffer, MemoryPool, TransferDirection
 from .profiler import KernelProfile, PipelineProfile
 from .costmodel import CostModel
@@ -38,6 +38,8 @@ __all__ = [
     "DeviceSpec",
     "Device",
     "V100_SPEC",
+    "Stream",
+    "Event",
     "DeviceBuffer",
     "MemoryPool",
     "TransferDirection",

@@ -6,13 +6,96 @@ cost model needs.  :data:`V100_SPEC` matches the NVIDIA Tesla V100 (SXM2,
 device: it owns a :class:`repro.gpu.memory.MemoryPool` (so benchmarks can
 report GPU RAM usage like the paper's Table I) and a contention counter used
 by the multi-rank weak-scaling model (paper Fig. 9).
+
+:class:`Stream` and :class:`Event` model CUDA streams on the modelled
+timeline: a V100 has one compute engine and two copy engines (one per
+direction), operations within a stream serialize, and operations in distinct
+streams overlap exactly when they occupy distinct engines.  The
+:class:`~repro.service.TransformService` uses them to model double-buffered
+h2d / exec / d2h overlap across queued requests.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["DeviceSpec", "Device", "V100_SPEC"]
+__all__ = ["DeviceSpec", "Device", "V100_SPEC", "Stream", "Event"]
+
+#: Hardware engines of the modelled timeline: the h2d copy engine, the
+#: compute (kernel) engine and the d2h copy engine.  The V100 has exactly
+#: these three, which is what makes stream-level double buffering pay off.
+ENGINES = ("h2d", "exec", "d2h")
+
+
+@dataclass(frozen=True)
+class Event:
+    """A recorded completion timestamp on the modelled timeline.
+
+    The analogue of a ``cudaEvent``: :meth:`Stream.record_event` captures the
+    stream's current frontier and :meth:`Stream.wait_event` makes another
+    stream (possibly on another device) wait for it.
+    """
+
+    time: float = 0.0
+
+
+class Stream:
+    """An in-order operation queue on one device (``cudaStream`` analogue).
+
+    Overlap model: the device owns one timeline per engine (h2d copy,
+    compute, d2h copy).  An enqueued operation starts no earlier than both
+    the stream's frontier (in-stream ordering) and its engine's frontier
+    (engines serialize across streams), so two streams overlap a transfer
+    with a kernel but never two kernels with each other -- the same rules
+    real CUDA streams follow on a single-compute-engine device.
+    """
+
+    #: Per-stream operation log bound: a long-lived serving process enqueues
+    #: indefinitely, and the log exists for debugging/tests only.
+    MAX_OPS_LOGGED = 1024
+
+    def __init__(self, device, stream_id=0):
+        self.device = device
+        self.stream_id = int(stream_id)
+        self.ready_at = 0.0
+        self.ops = deque(maxlen=self.MAX_OPS_LOGGED)  # (engine, start, end, label)
+
+    def enqueue(self, engine, seconds, label=""):
+        """Queue ``seconds`` of work on ``engine``; returns its completion Event."""
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        seconds = float(seconds)
+        if seconds < 0.0:
+            raise ValueError(f"operation duration must be nonnegative, got {seconds}")
+        start = max(self.ready_at, self.device.engine_frontier[engine])
+        end = start + seconds
+        self.ready_at = end
+        self.device.engine_frontier[engine] = end
+        self.device.busy_seconds[engine] += seconds
+        self.ops.append((engine, start, end, label))
+        return Event(time=end)
+
+    def record_event(self):
+        """Capture the stream's current frontier as an :class:`Event`."""
+        return Event(time=self.ready_at)
+
+    def wait_event(self, event):
+        """Stall the stream until ``event`` has completed (``cudaStreamWaitEvent``)."""
+        return self.wait_until(event.time)
+
+    def wait_until(self, time):
+        """Stall the stream until the absolute timeline instant ``time``."""
+        self.ready_at = max(self.ready_at, float(time))
+        return self
+
+    def synchronize(self):
+        """Timeline instant at which everything queued so far has completed."""
+        return self.ready_at
+
+    def __repr__(self):  # pragma: no cover - debugging nicety
+        return (f"Stream(id={self.stream_id}, device={self.device.device_id}, "
+                f"ready_at={self.ready_at:.6f}s, ops={len(self.ops)})")
 
 
 @dataclass(frozen=True)
@@ -132,6 +215,37 @@ class Device:
         from .memory import MemoryPool
 
         self.memory = MemoryPool(capacity_bytes=self.spec.global_mem_bytes)
+        self.streams = []
+        self.engine_frontier = {engine: 0.0 for engine in ENGINES}
+        self.busy_seconds = {engine: 0.0 for engine in ENGINES}
+
+    # -- stream timeline (service-layer h2d/exec/d2h overlap model) ---------
+    def create_stream(self):
+        """Create a new :class:`Stream` on this device."""
+        stream = Stream(self, stream_id=len(self.streams))
+        self.streams.append(stream)
+        return stream
+
+    def timeline_makespan(self):
+        """Instant at which every queued operation on every engine is done."""
+        frontiers = list(self.engine_frontier.values())
+        frontiers += [s.ready_at for s in self.streams]
+        return max(frontiers, default=0.0)
+
+    def utilization(self, engine="exec"):
+        """Fraction of the timeline makespan the given engine was busy."""
+        makespan = self.timeline_makespan()
+        if makespan <= 0.0:
+            return 0.0
+        return self.busy_seconds[engine] / makespan
+
+    def reset_timeline(self):
+        """Forget all queued stream work (streams survive, rewound to t=0)."""
+        self.engine_frontier = {engine: 0.0 for engine in ENGINES}
+        self.busy_seconds = {engine: 0.0 for engine in ENGINES}
+        for stream in self.streams:
+            stream.ready_at = 0.0
+            stream.ops.clear()
 
     # -- context management (mirrors pycuda's make_context usage in Sec. V-A) --
     def make_context(self):
@@ -160,11 +274,13 @@ class Device:
         return r * 1.05
 
     def reset(self):
-        """Free all allocations and forget contexts (test helper)."""
+        """Free all allocations, forget contexts and rewind the timeline."""
         from .memory import MemoryPool
 
         self.memory = MemoryPool(capacity_bytes=self.spec.global_mem_bytes)
         self.active_contexts = 0
+        self.streams = []
+        self.reset_timeline()
 
     def __repr__(self):  # pragma: no cover - debugging nicety
         return (

@@ -68,8 +68,9 @@ class DeviceFFT:
     def _record(self, shape, dtype, name, count=1):
         if self.pipeline is not None:
             profile = fft_kernel_profile(shape, np.dtype(dtype).itemsize, name=name)
-            for _ in range(count):
-                self.pipeline.add_kernel(profile, phase="exec")
+            # cuFFT's batch API runs all ``count`` transforms behind a single
+            # launch: the work scales with the batch, the launch does not.
+            self.pipeline.add_kernel(profile.scaled(count), phase="exec")
 
     @staticmethod
     def _batch_geometry(grid, axes):
@@ -91,9 +92,9 @@ class DeviceFFT:
         ``exp(-2 pi i l k / n)`` which matches ``numpy.fft.fftn``.
 
         ``axes`` restricts the transform to those axes (cuFFT's batched
-        execution over a leading ``n_trans`` axis); one kernel profile is
-        recorded per batch element, as a batched cuFFT launch does the work
-        of that many single transforms.
+        execution over a leading ``n_trans`` axis); one *fused* kernel
+        profile is recorded carrying the whole batch's work behind a single
+        launch, as cuFFT's batch API behaves.
         """
         grid = np.asarray(grid)
         if not np.iscomplexobj(grid):

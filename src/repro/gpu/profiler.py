@@ -17,7 +17,7 @@ result, and what the benchmark harness turns into "exec" / "total" /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, asdict, replace
 
 __all__ = ["KernelProfile", "TransferRecord", "PipelineProfile"]
 
@@ -104,6 +104,31 @@ class KernelProfile:
         if self.shared_atomic_distinct_addresses <= 0:
             raise ValueError(f"{self.name}: shared distinct addresses must be positive")
         return self
+
+    def scaled(self, batch):
+        """Profile of one *fused* launch doing ``batch`` copies of this work.
+
+        Every extensive count (blocks, flops, bytes, sector/atomic ops)
+        scales; the intensive ones (miss fractions, distinct addresses per
+        unit of work, threads per block) do not.  This is how the batched
+        engine's fused ``n_trans`` kernels -- and cuFFT's batch API -- are
+        priced: ``batch`` transforms' work behind a single launch latency.
+        """
+        batch = float(batch)
+        if batch < 1.0:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if batch == 1.0:
+            return self
+        return replace(
+            self,
+            grid_blocks=self.grid_blocks * batch,
+            flops=self.flops * batch,
+            stream_bytes=self.stream_bytes * batch,
+            gather_sector_ops=self.gather_sector_ops * batch,
+            global_atomic_ops=self.global_atomic_ops * batch,
+            global_atomic_sector_ops=self.global_atomic_sector_ops * batch,
+            shared_atomic_ops=self.shared_atomic_ops * batch,
+        )
 
     def to_dict(self):
         return asdict(self)

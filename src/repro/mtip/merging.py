@@ -27,13 +27,29 @@ __all__ = ["MergingOperator", "merge_slices"]
 
 
 class MergingOperator:
-    """Reusable merging operator: one plan shared by the two type-1 NUFFTs."""
+    """Reusable merging operator: one plan shared by the two type-1 NUFFTs.
+
+    ``plan_pool`` leases the plan from a
+    :class:`repro.service.TransformService` instead of constructing it (see
+    :class:`repro.mtip.slicing.SlicingOperator`); mutually exclusive with
+    ``device``.
+    """
 
     def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double",
-                 backend="auto"):
+                 backend="auto", plan_pool=None):
         self.n_modes = tuple(int(n) for n in n_modes)
-        self.plan = Plan(1, self.n_modes, eps=eps, precision=precision, device=device,
-                         backend=backend)
+        self._plan_pool = plan_pool
+        if plan_pool is not None:
+            if device is not None:
+                raise ValueError(
+                    "pass either a device or a plan_pool (the service places "
+                    "pooled plans on its own fleet), not both"
+                )
+            self.plan = plan_pool.lease_plan(1, self.n_modes, eps=eps,
+                                             precision=precision, backend=backend)
+        else:
+            self.plan = Plan(1, self.n_modes, eps=eps, precision=precision,
+                             device=device, backend=backend)
         self.n_points = 0
         self._weights = None
         self._taper = self._build_taper()
@@ -124,7 +140,10 @@ class MergingOperator:
         return self.plan.timings()
 
     def destroy(self):
-        self.plan.destroy()
+        if self._plan_pool is not None:
+            self._plan_pool.release_plan(self.plan)
+        else:
+            self.plan.destroy()
 
 
 def merge_slices(slice_values, slice_points, n_modes, eps=1e-12, device=None,

@@ -68,11 +68,24 @@ class MTIPReconstruction:
     device : Device, optional
         Simulated GPU all plans run on (one rank's view); the multi-GPU
         drivers pass per-rank devices.
+    service : TransformService, optional
+        Lease every NUFFT plan from a shared
+        :class:`repro.service.TransformService` instead of owning them: the
+        slicing and merging plans then come from (and return to) the
+        service's pool, so repeated reconstructions -- or several running
+        against one service -- amortize planning exactly like external
+        requests.  Mutually exclusive with ``device``.
     """
 
-    def __init__(self, config=None, device=None):
+    def __init__(self, config=None, device=None, service=None):
         self.config = config if config is not None else MTIPConfig()
+        if device is not None and service is not None:
+            raise ValueError(
+                "pass either a device or a service (whose fleet places the "
+                "plans), not both"
+            )
         self.device = device
+        self.service = service
         self.rng = np.random.default_rng(self.config.seed)
         self._build_ground_truth()
         self._simulate_measurements()
@@ -105,7 +118,8 @@ class MTIPReconstruction:
         )
         n_modes3 = (cfg.n_modes,) * 3
         slicer = SlicingOperator(n_modes3, points, eps=cfg.eps, device=self.device,
-                                 precision=cfg.precision, backend=cfg.backend)
+                                 precision=cfg.precision, backend=cfg.backend,
+                                 plan_pool=self.service)
         values = slicer(self.true_modes)
         slicer.destroy()
         intensities = np.abs(values.reshape(cfg.n_images, -1)) ** 2
@@ -132,6 +146,7 @@ class MTIPReconstruction:
             self._slicer = SlicingOperator(
                 (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
                 precision=cfg.precision, backend=cfg.backend,
+                plan_pool=self.service,
             )
         else:
             self._slicer.set_points(points)
@@ -143,6 +158,7 @@ class MTIPReconstruction:
             self._merger = MergingOperator(
                 (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
                 precision=cfg.precision, backend=cfg.backend,
+                plan_pool=self.service,
             )
         else:
             self._merger.set_points(points)

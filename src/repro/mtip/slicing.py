@@ -50,13 +50,30 @@ class SlicingOperator:
     backend : str, optional
         Execution backend of the plan (see :mod:`repro.backends`); the
         default ``"auto"`` resolves to the profiled ``device_sim``.
+    plan_pool : TransformService, optional
+        Lease the plan from a :class:`repro.service.TransformService` instead
+        of constructing it: repeated operator builds with the same geometry
+        (e.g. per M-TIP iteration or across reconstructions sharing the
+        service) skip planning, and the service places the plan on its
+        least-loaded fleet device.  Mutually exclusive with ``device``;
+        ``destroy`` returns the plan to the pool.
     """
 
     def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double",
-                 backend="auto"):
+                 backend="auto", plan_pool=None):
         self.n_modes = tuple(int(n) for n in n_modes)
-        self.plan = Plan(2, self.n_modes, eps=eps, precision=precision, device=device,
-                         backend=backend)
+        self._plan_pool = plan_pool
+        if plan_pool is not None:
+            if device is not None:
+                raise ValueError(
+                    "pass either a device or a plan_pool (the service places "
+                    "pooled plans on its own fleet), not both"
+                )
+            self.plan = plan_pool.lease_plan(2, self.n_modes, eps=eps,
+                                             precision=precision, backend=backend)
+        else:
+            self.plan = Plan(2, self.n_modes, eps=eps, precision=precision,
+                             device=device, backend=backend)
         self.n_points = 0
         self.set_points(slice_points)
 
@@ -104,7 +121,10 @@ class SlicingOperator:
         return self.plan.timings()
 
     def destroy(self):
-        self.plan.destroy()
+        if self._plan_pool is not None:
+            self._plan_pool.release_plan(self.plan)
+        else:
+            self.plan.destroy()
 
 
 def slice_fourier_model(fourier_model, slice_points, eps=1e-12, device=None,

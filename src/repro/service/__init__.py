@@ -1,0 +1,59 @@
+"""Concurrent transform service: plan pooling, coalescing, device sharding.
+
+The paper's plan interface (plan / set_pts / execute) exists so that repeated
+transforms amortize their setup.  This package applies that amortization to a
+*serving* workload: callers submit one-shot NUFFT requests and the
+:class:`TransformService`
+
+* pools :class:`~repro.core.plan.Plan` objects by geometry key
+  ``(type, modes/dim, eps, precision, method, backend, n_trans)``,
+* coalesces same-geometry / same-points requests into fused ``n_trans``
+  blocks (the batched engine of PR 1 executes them in one vectorized pass),
+* shards large blocks over a :class:`~repro.cluster.fleet.DeviceFleet` of
+  simulated GPUs, mirroring the paper's multi-GPU weak-scaling experiment
+  (Fig. 9), and
+* models stream-level h2d / exec / d2h overlap through the existing
+  :mod:`repro.gpu` profiler and cost model, reporting modelled requests/s
+  and per-device utilization.
+
+Quickstart (mirrors the :class:`~repro.core.plan.Plan` quickstart)
+------------------------------------------------------------------
+
+>>> import numpy as np
+>>> from repro.service import TransformService, TransformRequest
+>>> rng = np.random.default_rng(0)
+>>> M = 10_000
+>>> x, y = rng.uniform(-np.pi, np.pi, (2, M))
+>>> service = TransformService()
+>>> for _ in range(8):   # eight callers, same geometry and points
+...     c = rng.normal(size=M) + 1j * rng.normal(size=M)
+...     _ = service.submit(nufft_type=1, n_modes=(64, 64), data=c, x=x, y=y)
+>>> results = service.flush()          # one fused n_trans=8 block
+>>> results[0].output.shape
+(64, 64)
+>>> results[0].block_size
+8
+>>> service.close()
+
+On a multi-device service (``TransformService(n_devices=4)``) the same fused
+block is *sharded*: with the default ``shard_min_block=4`` those eight
+requests run as two ``n_trans=4`` shards on two devices in parallel.
+
+Every result also reports which device served it, whether the plan (and even
+its ``set_pts``) was reused, and the modelled engine seconds its block added;
+``service.report()`` summarizes pool hits, modelled makespan, requests/s and
+per-device utilization.
+"""
+
+from .pool import PlanPool, PooledPlan
+from .request import TransformRequest, TransformResult
+from .service import ServiceStats, TransformService
+
+__all__ = [
+    "PlanPool",
+    "PooledPlan",
+    "TransformRequest",
+    "TransformResult",
+    "ServiceStats",
+    "TransformService",
+]

@@ -1,0 +1,145 @@
+"""LRU pool of live :class:`~repro.core.plan.Plan` objects.
+
+The pool is the serving analogue of the paper's plan/setpts/execute
+amortization: a plan whose geometry key matches an incoming request skips
+planning entirely (kernel fit, fine-grid geometry, correction factors,
+device allocations, cuFFT plan), and if it also still holds the request's
+exact point set the bin sort + stencil cache are skipped too.
+
+Entries are keyed by ``(plan_key, n_trans, device_id)`` -- a plan is bound to
+its device's memory pool, and ``n_trans`` is baked into a plan's batched
+buffers.  Eviction is least-recently-used by lease *or* release, bounded by
+``max_plans`` live plans; evicted plans are destroyed so their simulated
+device memory is returned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+__all__ = ["PlanPool", "PooledPlan"]
+
+
+@dataclass
+class PooledPlan:
+    """One pooled plan plus the bookkeeping the service needs."""
+
+    plan: object
+    key: tuple
+    device_id: int = -1
+    points_key: str = None
+    last_used: int = 0
+    leases: int = 0
+
+
+class PlanPool:
+    """Keyed LRU pool of live plans.
+
+    Parameters
+    ----------
+    max_plans : int
+        Maximum number of live (idle) plans retained.  ``0`` disables pooling
+        entirely: every release destroys the plan, every lease misses.
+    """
+
+    def __init__(self, max_plans=32):
+        max_plans = int(max_plans)
+        if max_plans < 0:
+            raise ValueError(f"max_plans must be >= 0, got {max_plans}")
+        self.max_plans = max_plans
+        self._idle = {}  # key -> list[PooledPlan]
+        self._clock = itertools.count()
+        self.n_idle = 0
+
+    # ------------------------------------------------------------------ #
+    # lease / release
+    # ------------------------------------------------------------------ #
+    def lease(self, key, points_key=None):
+        """Pop an idle plan for ``key``; returns ``None`` on a miss.
+
+        When ``points_key`` is given and the bucket holds a plan already
+        carrying that exact point set, that plan is preferred (its bin sort
+        and stencil cache are still valid, so ``set_pts`` can be skipped).
+        """
+        bucket = self._idle.get(key)
+        if not bucket:
+            return None
+        index = len(bucket) - 1
+        if points_key is not None:
+            for i, candidate in enumerate(bucket):
+                if candidate.points_key == points_key:
+                    index = i
+                    break
+        entry = bucket.pop(index)
+        if not bucket:
+            del self._idle[key]
+        self.n_idle -= 1
+        entry.last_used = next(self._clock)
+        entry.leases += 1
+        return entry
+
+    def has_points(self, key, points_key):
+        """Whether an idle plan for ``key`` already holds ``points_key``."""
+        return any(entry.points_key == points_key
+                   for entry in self._idle.get(key, ()))
+
+    def lease_unpointed(self, key):
+        """Pop an idle plan whose point set is unknown (``points_key=None``).
+
+        Plans returned by external lessees carry no vouched-for point set, so
+        re-pointing one steals cached state from nobody; ``None`` on a miss.
+        """
+        bucket = self._idle.get(key)
+        if not bucket:
+            return None
+        for i, candidate in enumerate(bucket):
+            if candidate.points_key is None:
+                bucket.pop(i)
+                if not bucket:
+                    del self._idle[key]
+                self.n_idle -= 1
+                candidate.last_used = next(self._clock)
+                candidate.leases += 1
+                return candidate
+        return None
+
+    def release(self, entry):
+        """Return a leased plan to the pool, evicting beyond ``max_plans``."""
+        if self.max_plans == 0:
+            entry.plan.destroy()
+            return
+        entry.last_used = next(self._clock)
+        self._idle.setdefault(entry.key, []).append(entry)
+        self.n_idle += 1
+        while self.n_idle > self.max_plans:
+            self._evict_lru()
+
+    def _evict_lru(self):
+        lru_key, lru_index = None, None
+        lru_stamp = None
+        for key, bucket in self._idle.items():
+            for i, entry in enumerate(bucket):
+                if lru_stamp is None or entry.last_used < lru_stamp:
+                    lru_stamp = entry.last_used
+                    lru_key, lru_index = key, i
+        entry = self._idle[lru_key].pop(lru_index)
+        if not self._idle[lru_key]:
+            del self._idle[lru_key]
+        self.n_idle -= 1
+        entry.plan.destroy()
+
+    def make_entry(self, plan, key):
+        """Wrap a freshly created plan (counts as leased until released)."""
+        return PooledPlan(plan=plan, key=key, last_used=next(self._clock), leases=1)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def clear(self):
+        """Destroy every idle plan."""
+        for bucket in self._idle.values():
+            for entry in bucket:
+                entry.plan.destroy()
+        self._idle = {}
+        self.n_idle = 0

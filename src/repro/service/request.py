@@ -1,0 +1,270 @@
+"""Request/response types of the transform service.
+
+A :class:`TransformRequest` is one *one-shot* NUFFT: the caller supplies the
+transform geometry (type, modes, tolerance, precision, method, backend), the
+nonuniform points and a single strength/coefficient vector, exactly the
+arguments of the ``nufft*d*`` simple API.  Unlike the simple API the service
+does not plan per call: requests are validated eagerly at construction (the
+service front door), grouped by :meth:`TransformRequest.plan_key` for plan
+pooling and by :meth:`TransformRequest.points_key` for ``n_trans``
+coalescing, and answered with a :class:`TransformResult` carrying the output
+alongside the serving telemetry (device, cache hits, modelled timings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.options import Precision, SpreadMethod
+
+__all__ = ["TransformRequest", "TransformResult", "plan_key_for"]
+
+_COORD_FIELDS = ("x", "y", "z")
+_TARGET_FIELDS = ("s", "t", "u")
+
+
+def plan_key_for(nufft_type, n_modes, eps, precision, method, backend):
+    """The geometry key plans are pooled under.
+
+    The single normalization point shared by :meth:`TransformRequest.plan_key`
+    and :meth:`repro.service.TransformService.lease_plan` -- both paths must
+    produce byte-identical keys or the pool would silently stop sharing plans
+    between coalesced requests and external lessees.  For type 3, ``n_modes``
+    may be the dimension or a tuple whose length gives it (the ``Plan(3, .)``
+    convention).
+    """
+    nufft_type = int(nufft_type)
+    if nufft_type == 3:
+        ndim = int(n_modes) if np.isscalar(n_modes) else len(tuple(n_modes))
+        modes_key = ("ndim", ndim)
+    else:
+        modes_key = tuple(int(n) for n in np.atleast_1d(n_modes))
+    return (nufft_type, modes_key, float(eps), Precision.parse(precision).value,
+            SpreadMethod.parse(method).value, str(backend).strip().lower())
+
+
+def _as_point_array(value, name):
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 1 or arr.shape[0] == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D array, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(
+            f"{name} contains non-finite values (NaN or Inf); "
+            "nonuniform points must be finite reals"
+        )
+    return arr
+
+
+@dataclass(eq=False)
+class TransformRequest:
+    """One one-shot NUFFT request.
+
+    Parameters mirror :class:`repro.core.plan.Plan` plus the per-call data:
+
+    ``nufft_type``/``n_modes``/``eps``/``precision``/``method``/``backend``
+        The plan geometry.  For type 3, ``n_modes`` is the dimension (or a
+        tuple whose length gives it), as in ``Plan(3, ndim)``.
+    ``data``
+        One strength vector ``(M,)`` (types 1 and 3) or one mode-coefficient
+        array of shape ``n_modes`` (type 2).
+    ``x[, y[, z]]``
+        Nonuniform coordinates, one 1-D array per dimension.
+    ``s[, t[, u]]``
+        Type-3 target frequencies, one 1-D array per dimension.
+    ``tag``
+        Opaque caller token echoed on the :class:`TransformResult`.
+
+    Validation is eager: malformed shapes and non-finite points raise
+    ``ValueError`` here, *before* the request can reach a (possibly shared,
+    possibly coalesced) plan, so one bad request can never poison a fused
+    block serving other callers.
+
+    Requests carry arrays, so they compare by identity (``eq=False``), not
+    element-wise; group by :meth:`plan_key` / :meth:`points_key` instead.
+    """
+
+    nufft_type: int
+    n_modes: object
+    data: np.ndarray
+    x: np.ndarray
+    y: np.ndarray = None
+    z: np.ndarray = None
+    s: np.ndarray = None
+    t: np.ndarray = None
+    u: np.ndarray = None
+    eps: float = 1e-6
+    precision: str = "single"
+    method: str = "auto"
+    backend: str = "auto"
+    tag: object = None
+    _points_digest: str = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.nufft_type not in (1, 2, 3):
+            raise ValueError(f"nufft_type must be 1, 2 or 3, got {self.nufft_type}")
+        self.nufft_type = int(self.nufft_type)
+        if self.nufft_type == 3:
+            ndim = int(self.n_modes) if np.isscalar(self.n_modes) else len(tuple(self.n_modes))
+            if ndim not in (1, 2, 3):
+                raise ValueError(f"type-3 requests support dimensions 1-3, got {ndim}")
+            self.n_modes = None
+            self.ndim = ndim
+        else:
+            self.n_modes = tuple(int(n) for n in np.atleast_1d(self.n_modes))
+            if len(self.n_modes) not in (1, 2, 3) or any(n < 1 for n in self.n_modes):
+                raise ValueError(f"invalid n_modes {self.n_modes}")
+            self.ndim = len(self.n_modes)
+        self.eps = float(self.eps)
+        if not np.isfinite(self.eps) or self.eps <= 0.0:
+            raise ValueError(f"eps must be a finite positive tolerance, got {self.eps}")
+        self.precision = Precision.parse(self.precision).value
+        self.method = SpreadMethod.parse(self.method).value
+        self.backend = str(self.backend).strip().lower()
+
+        self._validate_points()
+        self._validate_data()
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def _validate_points(self):
+        coords = [getattr(self, f) for f in _COORD_FIELDS]
+        for d in range(self.ndim):
+            if coords[d] is None:
+                raise ValueError(
+                    f"{self.ndim}D request requires coordinate arrays "
+                    f"{', '.join(_COORD_FIELDS[:self.ndim])}"
+                )
+        for d in range(self.ndim, 3):
+            if coords[d] is not None:
+                raise ValueError(
+                    f"{self.ndim}D request takes only "
+                    f"{', '.join(_COORD_FIELDS[:self.ndim])}"
+                )
+        parsed = [_as_point_array(coords[d], _COORD_FIELDS[d]) for d in range(self.ndim)]
+        m = parsed[0].shape[0]
+        if any(c.shape[0] != m for c in parsed):
+            raise ValueError("coordinate arrays must have equal length")
+        for d, arr in enumerate(parsed):
+            setattr(self, _COORD_FIELDS[d], arr)
+        self.n_points = m
+
+        targets = [getattr(self, f) for f in _TARGET_FIELDS]
+        if self.nufft_type != 3:
+            if any(tt is not None for tt in targets):
+                raise ValueError(
+                    "target frequencies (s, t, u) are only accepted by type-3 requests"
+                )
+            self.n_targets = 0
+            return
+        for d in range(self.ndim):
+            if targets[d] is None:
+                raise ValueError(
+                    f"{self.ndim}D type-3 request requires target arrays "
+                    f"{', '.join(_TARGET_FIELDS[:self.ndim])}"
+                )
+        for d in range(self.ndim, 3):
+            if targets[d] is not None:
+                raise ValueError(
+                    f"{self.ndim}D type-3 request takes only "
+                    f"{', '.join(_TARGET_FIELDS[:self.ndim])}"
+                )
+        parsed_t = [_as_point_array(targets[d], _TARGET_FIELDS[d]) for d in range(self.ndim)]
+        nk = parsed_t[0].shape[0]
+        if any(tt.shape[0] != nk for tt in parsed_t):
+            raise ValueError("target arrays must have equal length")
+        for d, arr in enumerate(parsed_t):
+            setattr(self, _TARGET_FIELDS[d], arr)
+        self.n_targets = nk
+
+    def _validate_data(self):
+        self.data = np.asarray(self.data)
+        if self.nufft_type in (1, 3):
+            expected = (self.n_points,)
+        else:
+            expected = self.n_modes
+        if self.data.shape != expected:
+            raise ValueError(
+                f"data shape {self.data.shape} does not match the expected "
+                f"single-transform shape {expected} (the service coalesces "
+                "batching itself; submit one transform per request)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # grouping keys
+    # ------------------------------------------------------------------ #
+    def plan_key(self):
+        """Geometry key: requests with equal keys can share one pooled plan."""
+        modes = self.n_modes if self.nufft_type != 3 else self.ndim
+        return plan_key_for(self.nufft_type, modes, self.eps, self.precision,
+                            self.method, self.backend)
+
+    def points_key(self):
+        """Digest of the nonuniform points (and type-3 targets).
+
+        Requests with equal :meth:`plan_key` *and* equal ``points_key`` are
+        transforms over the same geometry and point set -- exactly the
+        batched ``n_trans`` case the paper's plan interface vectorizes -- so
+        the service fuses them into one block.
+        """
+        if self._points_digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            for f in _COORD_FIELDS + _TARGET_FIELDS:
+                arr = getattr(self, f)
+                if arr is not None:
+                    h.update(f.encode())
+                    h.update(np.ascontiguousarray(arr).tobytes())
+            self._points_digest = h.hexdigest()
+        return self._points_digest
+
+    def setpts_kwargs(self):
+        """Keyword arguments for ``Plan.set_pts``."""
+        kwargs = {}
+        for f in _COORD_FIELDS + _TARGET_FIELDS:
+            arr = getattr(self, f)
+            if arr is not None:
+                kwargs[f] = arr
+        return kwargs
+
+
+@dataclass(eq=False)
+class TransformResult:
+    """Answer to one :class:`TransformRequest`.  Compares by identity
+    (``eq=False``): it carries the output array.
+
+    Attributes
+    ----------
+    tag : object
+        The request's ``tag``, echoed back.
+    output : ndarray or None
+        Transform output (``None`` when ``error`` is set).
+    error : Exception or None
+        The per-request failure, if the serving block raised.
+    device_id : int
+        Fleet device the request executed on.
+    plan_reused : bool
+        Whether a pooled plan was reused (no plan construction).
+    setpts_reused : bool
+        Whether even ``set_pts`` was skipped (pooled plan already held this
+        exact point set -- the strongest amortization).
+    block_size : int
+        Number of requests fused into the executed ``n_trans`` block.
+    modelled_seconds : dict
+        Stream-level modelled occupancy this request's block added, split by
+        engine (``h2d`` / ``exec`` / ``d2h``) plus ``plan_setup``.
+    completed_at : float
+        Timeline instant (seconds) the block's d2h finished.
+    """
+
+    tag: object = None
+    output: np.ndarray = None
+    error: Exception = None
+    device_id: int = -1
+    plan_reused: bool = False
+    setpts_reused: bool = False
+    block_size: int = 1
+    modelled_seconds: dict = field(default_factory=dict)
+    completed_at: float = 0.0

@@ -1,0 +1,513 @@
+"""The concurrent transform service: plan pooling, coalescing, sharding.
+
+See :mod:`repro.service` for the package overview and a usage example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.fleet import DeviceFleet
+from ..core.plan import Plan
+from .pool import PlanPool
+from .request import TransformRequest, TransformResult, plan_key_for
+
+__all__ = ["ServiceStats", "TransformService"]
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters accumulated over the service lifetime."""
+
+    requests_submitted: int = 0
+    requests_served: int = 0
+    requests_failed: int = 0
+    blocks_executed: int = 0
+    shards_executed: int = 0
+    plans_created: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    setpts_skipped: int = 0
+    setpts_executed: int = 0
+    lease_hits: int = 0
+    lease_misses: int = 0
+    modelled_engine_seconds: dict = field(
+        default_factory=lambda: {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
+    )
+
+
+class TransformService:
+    """Serving front-end over the plan interface and a simulated device fleet.
+
+    The service turns *one-shot* NUFFT requests into amortized plan usage:
+
+    * **plan pooling** -- plans are cached by geometry key (type, modes/dim,
+      eps, precision, method, backend, ``n_trans``) per device and reused
+      across requests, skipping planning (allocations, correction factors,
+      cuFFT plan);
+    * **coalescing** -- queued requests with the same geometry *and* the same
+      point set are fused into one ``n_trans`` block and executed in a single
+      vectorized pass (PR 1's batched engine), skipping ``set_pts`` when the
+      pooled plan already holds those points;
+    * **sharding** -- large fused blocks are split over the device fleet,
+      each shard on the least-loaded device, reproducing the paper's
+      multi-GPU weak-scaling setup (Fig. 9) in a serving context;
+    * **stream overlap** -- every executed block's modelled h2d / kernel /
+      d2h costs are enqueued on per-device :class:`~repro.gpu.device.Stream`
+      objects, so consecutive blocks double-buffer (one block's transfers
+      overlap another's kernels) and the fleet reports a modelled makespan,
+      per-device utilization and requests/s.
+
+    Parameters
+    ----------
+    fleet : DeviceFleet, optional
+        Devices to serve on; defaults to a fresh fleet of ``n_devices``.
+    n_devices, streams_per_device : int
+        Fleet geometry when ``fleet`` is not given.
+    max_plans : int
+        LRU capacity of the plan pool; ``pool_plans=False`` forces 0.
+    pool_plans : bool
+        Disable to re-plan per request (the unpooled baseline).
+    coalesce : bool
+        Disable to execute every request as its own block.
+    shard_min_block : int
+        Minimum fused transforms per shard; a block shards across at most
+        ``len(block) // shard_min_block`` devices.
+    max_block : int
+        Upper bound on fused block size (stencil-cache memory guard).
+    dispatch_latency_s : float
+        Host-side submission cost per executed shard; shard dispatches
+        serialize on the host.
+    shared_host_link : bool
+        Model the host's PCIe root complex as a shared resource: h2d uploads
+        to *different* devices serialize against each other.  Together with
+        the dispatch latency this is what bends the multi-device scaling
+        curve below ideal (the fleet analogue of Fig. 9's saturation).
+    charge_plan_creation : bool
+        Include plan construction (simulated allocations + the cuFFT plan
+        cost the paper excludes with a dummy transform) in the modelled
+        timeline of cache misses.  This is the cost pooling amortizes.
+    """
+
+    def __init__(self, fleet=None, n_devices=1, streams_per_device=2,
+                 max_plans=32, pool_plans=True, coalesce=True,
+                 shard_min_block=4, max_block=64,
+                 dispatch_latency_s=2.0e-5, charge_plan_creation=True,
+                 shared_host_link=True):
+        self.fleet = fleet if fleet is not None else DeviceFleet(
+            n_devices=n_devices, streams_per_device=streams_per_device
+        )
+        self.pool_plans = bool(pool_plans)
+        self.pool = PlanPool(max_plans if self.pool_plans else 0)
+        self.coalesce = bool(coalesce)
+        self.shard_min_block = max(1, int(shard_min_block))
+        self.max_block = max(1, int(max_block))
+        self.dispatch_latency_s = float(dispatch_latency_s)
+        self.charge_plan_creation = bool(charge_plan_creation)
+        self.shared_host_link = bool(shared_host_link)
+        self.stats = ServiceStats()
+        self._queue = []  # list[(seq, TransformRequest)]
+        self._seq = itertools.count()
+        self._leased = {}  # id(plan) -> PooledPlan
+        self._host_frontier = 0.0
+        self._host_link_frontier = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # request intake
+    # ------------------------------------------------------------------ #
+    def submit(self, request=None, **kwargs):
+        """Queue one request; returns its sequence number.
+
+        Accepts a prebuilt :class:`TransformRequest` or the request's fields
+        as keywords.  Validation is eager (front door): malformed requests
+        raise here and never enter the queue.
+        """
+        self._require_open()
+        if request is None:
+            request = TransformRequest(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a TransformRequest or keyword fields, not both")
+        if not isinstance(request, TransformRequest):
+            raise TypeError(f"expected a TransformRequest, got {type(request).__name__}")
+        seq = next(self._seq)
+        self._queue.append((seq, request))
+        self.stats.requests_submitted += 1
+        return seq
+
+    def run(self, requests):
+        """Submit a batch of requests and flush; returns results in order."""
+        for request in requests:
+            self.submit(request)
+        return self.flush()
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def flush(self):
+        """Serve every queued request; returns results in submission order.
+
+        Requests are grouped into same-geometry/same-points blocks (when
+        coalescing is on), blocks are sharded over the fleet, and each shard
+        runs as one fused ``n_trans`` execute on a pooled (or fresh) plan.
+        A failing shard yields per-request ``error`` results and does not
+        disturb other blocks.
+        """
+        self._require_open()
+        queue, self._queue = self._queue, []
+        if not queue:
+            return []
+        results = {}
+        for block in self._group(queue):
+            shards = self._shards(block)
+            if len(shards) == 1:
+                self._execute_shard(shards[0], results)
+            else:
+                # Pin a multi-shard block's shards to distinct devices (in
+                # least-loaded order) so the block actually runs in parallel;
+                # plan affinity alone would pile every shard onto the device
+                # already holding a matching plan.
+                ranked = self.fleet.ranked()
+                for i, shard in enumerate(shards):
+                    self._execute_shard(shard, results,
+                                        device=ranked[i % len(ranked)])
+            self.stats.blocks_executed += 1
+        return [results[seq] for seq, _ in queue]
+
+    def _group(self, queue):
+        """Coalesce the queue into same-geometry/same-points blocks."""
+        if not self.coalesce:
+            return [[item] for item in queue]
+        groups, order = {}, []
+        for seq, req in queue:
+            key = (req.plan_key(), req.points_key())
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((seq, req))
+        blocks = []
+        for key in order:
+            group = groups[key]
+            for i in range(0, len(group), self.max_block):
+                blocks.append(group[i:i + self.max_block])
+        return blocks
+
+    def _shards(self, block):
+        """Split one block across the fleet (each shard >= shard_min_block)."""
+        n_shards = min(self.fleet.n_devices,
+                       max(1, len(block) // self.shard_min_block))
+        if n_shards <= 1:
+            return [block]
+        bounds = np.array_split(np.arange(len(block)), n_shards)
+        return [[block[i] for i in idx] for idx in bounds if len(idx)]
+
+    def _execute_shard(self, shard, results, device=None):
+        req0 = shard[0][1]
+        n_trans = len(shard)
+        entry = None
+        try:
+            entry, created = self._acquire_plan(
+                req0.plan_key(), n_trans, req0.points_key(),
+                lambda dev: self._make_plan(req0, n_trans, dev),
+                device=device,
+            )
+            if created:
+                self.stats.plan_cache_misses += 1
+                self.stats.plans_created += 1
+            else:
+                self.stats.plan_cache_hits += 1
+            self._execute_shard_inner(shard, req0, n_trans, entry, created, results)
+        except Exception as exc:  # per-request failure isolation
+            # Don't pool a plan whose set_pts/execute failed mid-flight: its
+            # cached point state can no longer be vouched for.
+            if entry is not None:
+                entry.plan.destroy()
+            self.stats.requests_failed += len(shard)
+            for seq, req in shard:
+                results[seq] = TransformResult(tag=req.tag, error=exc,
+                                               block_size=n_trans)
+        else:
+            self.pool.release(entry)
+
+    def _execute_shard_inner(self, shard, req0, n_trans, entry, created, results):
+        plan = entry.plan
+        setpts_reused = (not created) and entry.points_key == req0.points_key()
+        setup_seconds = {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
+        if setpts_reused:
+            self.stats.setpts_skipped += n_trans
+        else:
+            plan.set_pts(**req0.setpts_kwargs())
+            entry.points_key = req0.points_key()
+            setup_seconds = _engine_seconds(plan, plan._setup_pipeline)
+            self.stats.setpts_executed += 1
+
+        if n_trans == 1:
+            output = plan.execute(req0.data)
+            outputs = [output]
+        else:
+            stacked = np.stack([req.data for _, req in shard])
+            output = plan.execute(stacked)
+            outputs = list(output)
+        exec_seconds = _engine_seconds(plan, plan._exec_pipeline)
+
+        plan_setup_s = 0.0
+        if created and self.charge_plan_creation:
+            plan_setup_s = (
+                _engine_seconds(plan, plan._plan_pipeline)["exec"]
+                + plan.cost_model.constants.cufft_startup_s
+            )
+
+        completed_at, modelled = self._enqueue_timeline(
+            entry, plan_setup_s, setup_seconds, exec_seconds
+        )
+
+        for i, (seq, req) in enumerate(shard):
+            results[seq] = TransformResult(
+                tag=req.tag,
+                output=outputs[i],
+                device_id=entry.device_id,
+                plan_reused=not created,
+                setpts_reused=setpts_reused,
+                block_size=n_trans,
+                modelled_seconds=modelled,
+                completed_at=completed_at,
+            )
+        self.stats.requests_served += n_trans
+        self.stats.shards_executed += 1
+
+    def _enqueue_timeline(self, entry, plan_setup_s, setup_seconds, exec_seconds):
+        """Model the shard on its device's streams; returns (t_done, seconds).
+
+        Host dispatches serialize (one submission thread); on the device the
+        h2d upload, the kernels and the d2h download occupy their respective
+        engines, so consecutive shards on different streams overlap.
+        """
+        device = self.fleet.device(entry.device_id)
+        stream = self.fleet.next_stream(device)
+        self._host_frontier += self.dispatch_latency_s
+        stream.wait_until(self._host_frontier)
+
+        if plan_setup_s > 0.0:
+            stream.enqueue("exec", plan_setup_s, "plan create")
+        h2d = setup_seconds["h2d"] + exec_seconds["h2d"]
+        if h2d > 0.0:
+            if self.shared_host_link:
+                stream.wait_until(self._host_link_frontier)
+            upload_done = stream.enqueue("h2d", h2d, "points + input upload")
+            if self.shared_host_link:
+                self._host_link_frontier = upload_done.time
+        kernels = setup_seconds["exec"] + exec_seconds["exec"]
+        if kernels > 0.0:
+            stream.enqueue("exec", kernels, "setup + transform kernels")
+        event = stream.enqueue("d2h", exec_seconds["d2h"], "output download")
+
+        modelled = {
+            "h2d": h2d,
+            "exec": kernels + plan_setup_s,
+            "d2h": exec_seconds["d2h"],
+            "plan_setup": plan_setup_s,
+        }
+        for engine in ("h2d", "exec", "d2h"):
+            self.stats.modelled_engine_seconds[engine] += modelled[engine]
+        return event.time, modelled
+
+    # ------------------------------------------------------------------ #
+    # plan acquisition
+    # ------------------------------------------------------------------ #
+    def _acquire_plan(self, plan_key, n_trans, points_key, factory, device=None,
+                      allow_repoint=False):
+        """Lease a pooled plan or build one; returns (entry, created).
+
+        With ``device`` pinned (multi-shard blocks), only that device's pool
+        bucket is consulted.  Otherwise device choice balances cache affinity
+        against load: first a device (in least-loaded order) whose pooled
+        plan already holds this exact point set, then any device with a
+        geometry match, then a fresh plan on the least-loaded device.
+        """
+        if device is not None:
+            ranked = [device]
+        else:
+            ranked = self.fleet.ranked()
+        if points_key is not None:
+            for device in ranked:
+                key = (plan_key, n_trans, device.device_id)
+                if self.pool.has_points(key, points_key):
+                    return self.pool.lease(key, points_key=points_key), False
+        # Plans released by external lessees carry no vouched-for point set
+        # (points_key=None): re-pointing one steals cached state from nobody,
+        # so they are fair game at any pool occupancy.
+        for device in ranked:
+            entry = self.pool.lease_unpointed((plan_key, n_trans, device.device_id))
+            if entry is not None:
+                return entry, False
+        # Geometry-only reuse of a *pointed* plan re-runs set_pts on it,
+        # which pays off only once the pool can no longer grow: below
+        # capacity, distinct recurring point sets each deserve their own
+        # pooled plan (otherwise a single plan ping-pongs between point
+        # sets, re-sorting forever).  External lessees (allow_repoint)
+        # re-point the plan regardless, so for them any geometry hit wins.
+        if allow_repoint or 0 < self.pool.max_plans <= self.pool.n_idle:
+            for device in ranked:
+                entry = self.pool.lease((plan_key, n_trans, device.device_id))
+                if entry is not None:
+                    return entry, False
+        device = ranked[0]
+        plan = factory(device)
+        entry = self.pool.make_entry(plan, (plan_key, n_trans, device.device_id))
+        entry.device_id = device.device_id
+        return entry, True
+
+    def _make_plan(self, req, n_trans, device):
+        modes = req.ndim if req.nufft_type == 3 else req.n_modes
+        return Plan(req.nufft_type, modes, n_trans=n_trans, eps=req.eps,
+                    device=device, precision=req.precision, method=req.method,
+                    backend=req.backend)
+
+    # ------------------------------------------------------------------ #
+    # external plan leasing (application integration, e.g. M-TIP)
+    # ------------------------------------------------------------------ #
+    def lease_plan(self, nufft_type, n_modes, n_trans=1, eps=1e-6,
+                   precision="double", method="auto", backend="auto"):
+        """Lease a plan from the pool (or create one on the emptiest device).
+
+        The application drives ``set_pts`` / ``execute`` itself and must give
+        the plan back with :meth:`release_plan`; across leases the plan's
+        geometry planning is amortized exactly as for coalesced requests.
+        """
+        self._require_open()
+        plan_key = plan_key_for(nufft_type, n_modes, eps, precision, method, backend)
+        entry, created = self._acquire_plan(
+            plan_key, int(n_trans), None,
+            lambda device: Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps,
+                                device=device, precision=precision,
+                                method=method, backend=backend),
+            allow_repoint=True,
+        )
+        if created:
+            self.stats.lease_misses += 1
+            self.stats.plans_created += 1
+        else:
+            self.stats.lease_hits += 1
+        # External callers may re-point the plan arbitrarily; the pool can no
+        # longer vouch for the cached point set.
+        entry.points_key = None
+        self._leased[id(entry.plan)] = entry
+        return entry.plan
+
+    def release_plan(self, plan):
+        """Return a leased plan to the pool (destroyed if pooling is off).
+
+        A plan the lessee already destroyed (e.g. by using it as a context
+        manager) is dropped rather than pooled -- pooling it would hand a
+        dead plan to the next same-geometry request.
+        """
+        entry = self._leased.pop(id(plan), None)
+        if entry is None:
+            raise ValueError("plan was not leased from this service")
+        if plan._destroyed:
+            return
+        self.pool.release(entry)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def makespan(self):
+        """Modelled seconds to drain everything served so far."""
+        return self.fleet.makespan()
+
+    def throughput_rps(self):
+        """Modelled requests per second over the service lifetime."""
+        makespan = self.makespan()
+        if makespan <= 0.0:
+            return 0.0
+        return self.stats.requests_served / makespan
+
+    def utilization(self, engine="exec"):
+        """Per-device busy fraction of the fleet makespan."""
+        return self.fleet.utilization(engine)
+
+    def reset_metrics(self):
+        """Rewind the modelled timelines and counters; pooled plans survive.
+
+        Benchmarks use this to measure steady-state serving (warm pool)
+        separately from the cold start that filled it.
+        """
+        self.fleet.reset_timelines()
+        self._host_frontier = 0.0
+        self._host_link_frontier = 0.0
+        self.stats = ServiceStats()
+
+    def report(self):
+        """Multi-line human-readable serving summary."""
+        s = self.stats
+        util = ", ".join(f"gpu{d}={u:.0%}" for d, u in enumerate(self.utilization()))
+        return "\n".join([
+            f"TransformService: {self.fleet.n_devices} device(s), "
+            f"pool={'on' if self.pool_plans else 'off'} "
+            f"(max {self.pool.max_plans}), "
+            f"coalesce={'on' if self.coalesce else 'off'}",
+            f"  requests: {s.requests_served} served, {s.requests_failed} failed, "
+            f"{s.blocks_executed} blocks, {s.shards_executed} shards",
+            f"  plans: {s.plans_created} created, {s.plan_cache_hits} pool hits, "
+            f"{s.setpts_skipped} set_pts skipped",
+            f"  modelled: makespan {1e3 * self.makespan():.3f} ms, "
+            f"{self.throughput_rps():.0f} req/s, exec util [{util}]",
+        ])
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _require_open(self):
+        if self._closed:
+            raise RuntimeError("service has been closed")
+
+    def close(self):
+        """Destroy every pooled plan and refuse further work (idempotent).
+
+        Refuses to drop work on the floor: closing with queued-but-unflushed
+        requests or unreleased leased plans raises instead of silently
+        discarding them.
+        """
+        if self._closed:
+            return
+        if self._leased:
+            raise RuntimeError(
+                f"{len(self._leased)} leased plan(s) not released; "
+                "call release_plan before close"
+            )
+        if self._queue:
+            raise RuntimeError(
+                f"{len(self._queue)} submitted request(s) not served; "
+                "call flush before close"
+            )
+        self.pool.clear()
+        self._queue = []
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def _engine_seconds(plan, pipeline):
+    """Split one pipeline's modelled cost by hardware engine.
+
+    Kernels and allocations occupy the compute engine (``cudaMalloc``
+    synchronizes the device), transfers their respective copy engines.
+    """
+    cm = plan.cost_model
+    seconds = {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
+    if pipeline is None:
+        return seconds
+    for record in pipeline.transfers:
+        engine = "exec" if record.kind == "alloc" else record.kind
+        seconds[engine] += cm.transfer_time(record)
+    for _phase, kernel in pipeline.kernels:
+        seconds["exec"] += cm.kernel_time(kernel)
+    return seconds

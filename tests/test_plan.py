@@ -330,3 +330,94 @@ class TestSimpleAPI:
             nufft2d1(x, y, c, (16, 16, 16))
         with pytest.raises(ValueError):
             nufft2d2(x, y, np.zeros((4, 4, 4), dtype=complex))
+
+
+class TestValidationAndAtomicity:
+    """Regression tests for the input-validation and set_pts-atomicity fixes:
+    non-finite points, non-integral n_trans, non-finite eps, the
+    all-or-nothing set_pts contract, and plan-reuse memory flatness."""
+
+    def test_nonfinite_coordinates_rejected(self):
+        # Previously NaN/inf propagated through binsort/stencil with only
+        # RuntimeWarnings and produced all-NaN output.
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ValueError, match="non-finite"):
+                Plan(1, (16,)).set_pts(np.array([0.1, bad, 0.3]))
+        with pytest.raises(ValueError, match="non-finite"):
+            Plan(2, (16, 16)).set_pts(np.array([0.1, 0.2]),
+                                      np.array([0.1, np.nan]))
+
+    def test_nonfinite_type3_targets_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Plan(3, 1).set_pts(np.array([0.1, 0.2]),
+                               s=np.array([np.nan, 1.0]))
+
+    def test_non_integral_n_trans_rejected(self):
+        # Previously Plan(1, (16,), n_trans=2.5) silently truncated to 2.
+        with pytest.raises(ValueError, match="integral"):
+            Plan(1, (16,), n_trans=2.5)
+        with pytest.raises(ValueError, match="integral"):
+            Plan(1, (16,), n_trans=float("nan"))
+        assert Plan(1, (16,), n_trans=2.0).n_trans == 2
+
+    def test_eps_must_be_finite_positive(self):
+        for bad in (0.0, -1e-6, np.nan, np.inf):
+            with pytest.raises(ValueError, match="eps"):
+                Plan(1, (16,), eps=bad)
+
+    def test_failed_set_pts_preserves_old_points_type1(self, rng):
+        x, y, c = make_points_2d(rng, m=200)
+        plan = Plan(1, (16, 16), eps=1e-5)
+        plan.set_pts(x, y)
+        before = plan.execute(c.astype(np.complex64))
+        with pytest.raises(ValueError):
+            plan.set_pts(x, np.append(y[:-1], np.nan))
+        with pytest.raises(ValueError):
+            plan.set_pts(x, y[:-1])  # length mismatch
+        # the failed calls left the previous point set fully usable
+        assert plan.n_points == 200
+        np.testing.assert_array_equal(plan.execute(c.astype(np.complex64)), before)
+        plan.destroy()
+
+    def test_failed_set_pts_preserves_old_points_type3(self, rng, monkeypatch):
+        # A type-3 failure *mid-planning* (the kernel-FT positivity check)
+        # used to drop the old point set; now every fallible step runs
+        # before the old points are released.
+        x = rng.uniform(-np.pi, np.pi, 150)
+        s = rng.uniform(-20.0, 20.0, 150)
+        c = (rng.standard_normal(150) + 1j * rng.standard_normal(150))
+        plan = Plan(3, 1, eps=1e-6, precision="double")
+        plan.set_pts(x, s=s)
+        before = plan.execute(c)
+        fine_before, n_targets_before = plan.fine_shape, plan.n_targets
+
+        monkeypatch.setattr(type(plan.kernel), "fourier_transform",
+                            lambda self, xi: -np.ones_like(xi))
+        with pytest.raises(ValueError, match="not positive"):
+            plan.set_pts(2 * x, s=0.5 * s)
+        monkeypatch.undo()
+        assert plan.fine_shape == fine_before
+        assert plan.n_targets == n_targets_before
+        np.testing.assert_array_equal(plan.execute(c), before)
+        plan.destroy()
+
+    def test_plan_reuse_ram_stays_flat(self, rng):
+        # Plan reuse across set_pts calls must not leak simulated device
+        # memory (the serving layer repoints pooled plans indefinitely).
+        x, y, _ = make_points_2d(rng, m=500)
+        with Plan(1, (24, 24), eps=1e-6) as plan:
+            plan.set_pts(x, y)
+            baseline = plan.gpu_ram_mb()
+            for shift in (0.1, 0.2, 0.3, 0.4, 0.5):
+                plan.set_pts(np.mod(x + shift + np.pi, 2 * np.pi) - np.pi, y)
+                assert plan.gpu_ram_mb() == pytest.approx(baseline)
+
+    def test_type3_plan_reuse_ram_stays_flat(self, rng):
+        x = rng.uniform(-np.pi, np.pi, 300)
+        s = rng.uniform(-15.0, 15.0, 300)
+        with Plan(3, 1, eps=1e-6, precision="double") as plan:
+            plan.set_pts(x, s=s)
+            baseline = plan.gpu_ram_mb()
+            for _ in range(4):
+                plan.set_pts(x, s=s)
+                assert plan.gpu_ram_mb() == pytest.approx(baseline)
