@@ -8,6 +8,13 @@ profiled ``device_sim`` default), together with every substrate the
 evaluation depends on: a simulated V100 device and cost model, CPU/GPU
 baseline libraries (FINUFFT, CUNFFT, gpuNUFFT analogues), a simulated
 multi-GPU MPI cluster, and the M-TIP X-ray reconstruction application.
+On top sit a serving layer (:class:`TransformService`: plan pooling, request
+coalescing, fleet sharding) and a cost-model-driven autotuner
+(:mod:`repro.tuning`) that searches spread method / bin geometry / ``Msub``
+per problem signature instead of the paper's fixed Remark-1/2 choices.
+
+See ``docs/ARCHITECTURE.md`` for the layer map and ``docs/BENCHMARKS.md``
+for the benchmark-to-paper-figure correspondence.
 
 Quickstart
 ----------
@@ -21,10 +28,23 @@ Quickstart
 >>> plan = Plan(1, (64, 64), eps=1e-6)
 >>> _ = plan.set_pts(x, y)
 >>> f = plan.execute(c)        # (64, 64) Fourier coefficients
+>>> f.shape
+(64, 64)
+>>> plan.destroy()
+
+Autotuned plan parameters (see :mod:`repro.tuning`):
+
+>>> from repro import tune_opts
+>>> opts = tune_opts(1, (64, 64), n_points=M, eps=1e-6)
+>>> with Plan(1, (64, 64), eps=1e-6, opts=opts) as tuned_plan:
+...     f_tuned = tuned_plan.set_pts(x, y).execute(c)
+>>> bool(np.allclose(f_tuned, f, rtol=1e-4, atol=1e-4))
+True
 """
 
 from .backends import available_backends, get_backend, register_backend
 from .service import TransformRequest, TransformResult, TransformService
+from .tuning import Autotuner, TuningCache, tune_opts
 from .core import (
     Opts,
     Plan,
@@ -59,6 +79,9 @@ __all__ = [
     "TransformService",
     "TransformRequest",
     "TransformResult",
+    "Autotuner",
+    "TuningCache",
+    "tune_opts",
     "nufft1d1",
     "nufft1d2",
     "nufft1d3",

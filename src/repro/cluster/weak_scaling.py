@@ -81,7 +81,8 @@ class WeakScalingResult:
 
 def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None,
                      max_ranks=None, precision="double", task_label="",
-                     rng=None, max_sample=1 << 20, backend="device_sim"):
+                     rng=None, max_sample=1 << 20, backend="device_sim",
+                     tune="off", tuner=None):
     """Run the Fig. 9 weak-scaling sweep for one NUFFT task.
 
     Parameters
@@ -98,6 +99,13 @@ def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None
     backend : str
         Execution backend whose stage profiles price the per-rank NUFFT;
         must record profiles (``"device_sim"``), like every modelled figure.
+    tune : str
+        ``"off"`` runs the paper's hard-coded plan parameters; ``"model"`` /
+        ``"measure"`` price the per-rank NUFFT with an autotuned
+        configuration instead (see :mod:`repro.tuning`).
+    tuner : Autotuner, optional
+        Tuner to consult when tuning is enabled (a shared-cache default
+        otherwise).
     """
     node_spec = node_spec if node_spec is not None else CORI_GPU_NODE
     node = Node(spec=node_spec)
@@ -107,14 +115,32 @@ def run_weak_scaling(nufft_type, n_modes, n_points_per_rank, eps, node_spec=None
 
     # The per-rank NUFFT is identical for every rank, so model it once and
     # apply the rank-dependent contention/communication factors.
+    opts = None
+    method = "auto"
+    bin_shape = default_bin_shape(len(n_modes))
+    if tune == "off":
+        if tuner is not None:
+            raise ValueError(
+                "tuner has no effect with tune='off'; pass tune='model' or "
+                "tune='measure' to enable autotuning"
+            )
+    else:
+        from ..tuning import TuningProblem, default_autotuner
+
+        tuner = tuner if tuner is not None else default_autotuner()
+        problem = TuningProblem(nufft_type, n_modes, n_points_per_rank, eps,
+                                precision)
+        opts = tuner.tuned_opts(problem, mode=tune, include_backend=False)
+        method = opts.method
+        bin_shape = opts.resolved_bin_shape(len(n_modes))
     stats = sample_spread_stats(
         "rand", n_points_per_rank, _fine_shape_for(n_modes, eps),
-        default_bin_shape(len(n_modes)), rng=rng, max_sample=max_sample,
+        bin_shape, rng=rng, max_sample=max_sample,
     )
     base = model_cufinufft(
         nufft_type, n_modes, n_points_per_rank, eps,
-        method="auto", distribution="rand", precision=precision, stats=stats,
-        backend=backend,
+        method=method, distribution="rand", precision=precision, opts=opts,
+        stats=stats, backend=backend,
     )
 
     result = WeakScalingResult(
@@ -193,7 +219,8 @@ def run_weak_scaling_fleet(nufft_type=2, n_modes=(32, 32, 32),
                            requests_per_device=4, max_devices=4,
                            precision="double", backend="auto",
                            task_label="", seed=0, service_kwargs=None,
-                           warmup=True, rounds=2):
+                           warmup=True, rounds=2, tune="off", tuner=None,
+                           tuning_cache_path=None):
     """Weak-scale the transform service from 1 to ``max_devices`` devices.
 
     The serving analogue of the paper's Fig. 9 experiment: each simulated
@@ -213,6 +240,12 @@ def run_weak_scaling_fleet(nufft_type=2, n_modes=(32, 32, 32),
     describe *steady-state* serving over ``rounds`` rounds -- plan creation
     amortized away, dispatch and host-link contention still in.
 
+    ``tune`` applies the service-level autotuning policy (``"model"`` /
+    ``"measure"``, see :mod:`repro.tuning`) to every fleet size of the
+    sweep; one shared :class:`~repro.tuning.Autotuner` (``tuner``, or a
+    fresh one over ``tuning_cache_path``) serves the whole sweep, so the
+    per-rank problem is tuned exactly once.
+
     Returns a :class:`FleetScalingResult`; efficiency near 1.0 up to
     ``max_devices`` is the serving counterpart of the paper's flat region up
     to one rank per GPU.
@@ -221,6 +254,16 @@ def run_weak_scaling_fleet(nufft_type=2, n_modes=(32, 32, 32),
 
     if max_devices < 1:
         raise ValueError(f"max_devices must be >= 1, got {max_devices}")
+    if tune == "off":
+        if tuner is not None or tuning_cache_path is not None:
+            raise ValueError(
+                "tuner/tuning_cache_path have no effect with tune='off'; "
+                "pass tune='model' or tune='measure' to enable autotuning"
+            )
+    elif tuner is None:
+        from ..tuning import Autotuner, TuningCache
+
+        tuner = Autotuner(cache=TuningCache(tuning_cache_path))
     n_modes = tuple(int(n) for n in n_modes)
     ndim = len(n_modes)
     result = FleetScalingResult(
@@ -264,7 +307,8 @@ def run_weak_scaling_fleet(nufft_type=2, n_modes=(32, 32, 32),
                                **coords)
 
     for n_devices in range(1, int(max_devices) + 1):
-        service = TransformService(n_devices=n_devices, **(service_kwargs or {}))
+        service = TransformService(n_devices=n_devices, tune=tune, tuner=tuner,
+                                   **(service_kwargs or {}))
         if warmup:
             submit_round(service, n_devices)
             service.flush()

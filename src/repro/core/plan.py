@@ -78,6 +78,17 @@ class Plan:
         Tuning options; keyword overrides below take precedence.
     device : Device, optional
         Simulated device to run on (a fresh V100 by default).
+    tune : str, optional
+        Plan-parameter autotuning mode (see :mod:`repro.tuning`): ``"off"``
+        (default, the paper's hard-coded Remark-1/2 choices), ``"model"``
+        (search method/bins/``Msub``/threads against the cost model at
+        ``set_pts`` time, using the actual point coordinates) or
+        ``"measure"`` (additionally re-rank the model's finalists by
+        executing small real plans).  The winning configuration is cached by
+        problem signature in the tuner's :class:`~repro.tuning.TuningCache`.
+    tuner : Autotuner, optional
+        Tuner to consult when ``tune != "off"``; defaults to the process-wide
+        :func:`repro.tuning.default_autotuner`, so plans share one cache.
     **opt_overrides
         Any :class:`~repro.core.options.Opts` field, e.g. ``method="SM"``,
         ``precision="double"``, ``backend="cached"``, ``bin_shape=(16, 16, 4)``.
@@ -88,7 +99,7 @@ class Plan:
     """
 
     def __init__(self, nufft_type, n_modes, n_trans=1, eps=1e-6, opts=None,
-                 device=None, **opt_overrides):
+                 device=None, tune="off", tuner=None, **opt_overrides):
         if nufft_type not in (1, 2, 3):
             raise ValueError(f"nufft_type must be 1, 2 or 3, got {nufft_type}")
         n_trans_f = float(n_trans)
@@ -127,8 +138,22 @@ class Plan:
         self.n_trans = int(n_trans_f)
         self.eps = eps
 
+        from ..tuning import TUNE_MODES
+
+        if tune not in TUNE_MODES:
+            raise ValueError(f"tune must be one of {TUNE_MODES}, got {tune!r}")
+        self.tune_mode = tune
+        self._tuner = tuner
+        #: :class:`~repro.tuning.TuningResult` applied by the last ``set_pts``
+        #: (None when tuning is off or no points have been set yet).
+        self.tuned = None
+
         base_opts = opts if opts is not None else Opts()
         self.opts = base_opts.copy(**opt_overrides) if opt_overrides else base_opts.copy()
+        # Pristine pre-tuning options: every tuning run searches from (and
+        # reports its speedup against) the configuration the caller asked
+        # for, not whatever a previous set_pts tuned the plan to.
+        self._pretune_opts = self.opts.copy()
         self.precision = self.opts.precision
         self.method = self.opts.resolve_method(self.nufft_type, self.ndim, self.precision)
         try:
@@ -160,18 +185,7 @@ class Plan:
 
         # SM feasibility check mirrors paper Remark 2: fall back to GM-sort when
         # the padded bin no longer fits in shared memory.
-        if self.method is SpreadMethod.SM:
-            from ..gpu.threadblock import LaunchConfigError, check_shared_memory_fit
-
-            try:
-                check_shared_memory_fit(
-                    self.bin_shape,
-                    self.kernel.width,
-                    self.precision.complex_itemsize,
-                    self.device.spec,
-                )
-            except LaunchConfigError:
-                self.method = SpreadMethod.GM_SORT
+        self._apply_sm_fallback()
 
         # Device allocations that live for the duration of the plan.
         self._buffers = []
@@ -184,10 +198,12 @@ class Plan:
             for d, (nm, fac) in enumerate(zip(self.n_modes, self.correction.factors)):
                 self._alloc((nm,), self.precision.real_dtype, f"correction factors dim{d}")
 
-        # Point state (populated by set_pts).  ``_points_ready`` flips true
-        # only once set_pts completes: a set_pts that fails partway (e.g. a
-        # simulated OOM on the type-3 fine grid) leaves the plan cleanly in
-        # the "no points" state instead of half-initialized.
+        # Point state (populated by set_pts).  set_pts is all-or-nothing: a
+        # call that raises during validation or host-side planning leaves the
+        # previous point set fully usable (see the set_pts docstring).  Only
+        # a simulated device-allocation failure mid-upload drops to this
+        # explicit "no points" state (``_points_ready`` False), where execute
+        # refuses to run rather than operating on half-initialized geometry.
         self._points_ready = False
         self._grid_coords = None
         self._sort = None
@@ -250,6 +266,55 @@ class Plan:
             self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
         return self._subproblems
 
+    def _apply_sm_fallback(self):
+        """Paper Remark 2: SM falls back to GM-sort when the padded bin
+        exceeds the device's shared memory."""
+        if self.method is not SpreadMethod.SM:
+            return
+        from ..gpu.threadblock import LaunchConfigError, check_shared_memory_fit
+
+        try:
+            check_shared_memory_fit(
+                self.bin_shape,
+                self.kernel.width,
+                self.precision.complex_itemsize,
+                self.device.spec,
+            )
+        except LaunchConfigError:
+            self.method = SpreadMethod.GM_SORT
+
+    # ------------------------------------------------------------------ #
+    # autotuning (consulted by set_pts, when enabled)
+    # ------------------------------------------------------------------ #
+    def _maybe_tune(self, grid_modes, n_points, coords=None):
+        """Tune the spread parameters for the incoming point set.
+
+        Runs *before* the previous point state is released, so a tuning
+        failure preserves the all-or-nothing ``set_pts`` contract.  The tuned
+        fields (method, bin shape, ``Msub``, threads per block, stencil
+        budget) replace the current options; the execution backend is left
+        untouched -- a live plan has already bound it.
+        """
+        if self.tune_mode == "off":
+            return
+        from ..tuning import TuningProblem, default_autotuner
+
+        if self._tuner is None:
+            self._tuner = default_autotuner()
+        problem = TuningProblem(
+            self.nufft_type, tuple(grid_modes), n_points, self.eps,
+            self.precision.value, coords=coords,
+        )
+        result = self._tuner.tune(problem, mode=self.tune_mode,
+                                  base_opts=self._pretune_opts,
+                                  spec=self.device.spec)
+        self.tuned = result
+        self.opts = result.apply_to(self._pretune_opts, include_backend=False)
+        self.method = self.opts.resolve_method(self.nufft_type, self.ndim,
+                                               self.precision)
+        self.bin_shape = self.opts.resolved_bin_shape(self.ndim)
+        self._apply_sm_fallback()
+
     # ------------------------------------------------------------------ #
     # set_pts
     # ------------------------------------------------------------------ #
@@ -286,6 +351,11 @@ class Plan:
             raise ValueError(
                 "target frequencies (s, t, u) are only accepted by type-3 plans"
             )
+
+        # Autotuning (when enabled) re-selects method/bins/Msub for this
+        # point set; it runs on the validated inputs before any state is
+        # released, like every other fallible planning step.
+        self._maybe_tune(self.n_modes, coords[0].shape[0], coords=coords)
 
         # All remaining planning is host-side arithmetic that cannot fail on
         # validated inputs, so compute it before releasing the old point set
@@ -486,6 +556,12 @@ class Plan:
                     "frequencies; the requested tolerance is unattainable"
                 )
             factors *= (2.0 / w) / phihat
+
+        # Tune the outer spread on the derived composition grid (the actual
+        # spread coordinates are the rescaled sources; the tuner's sampled
+        # statistics stand in for them).  Before _release_point_state, like
+        # every other fallible step.
+        self._maybe_tune(fine_shape, m)
 
         self._release_point_state()
         self.n_points = m
@@ -733,6 +809,12 @@ class Plan:
             f"Msub={self.opts.max_subproblem_size}",
             f"  device: {self.device.spec.name}, RAM {self.gpu_ram_mb():.0f} MB",
         ]
+        if self.tuned is not None:
+            lines.append(
+                f"  autotuned ({self.tuned.mode}): {self.tuned.speedup:.2f}x "
+                f"modelled {self.tuned.objective} vs paper defaults "
+                f"({self.tuned.n_candidates} candidates)"
+            )
         if self._grid_coords is not None:
             pts = f"  points: {self.n_points}"
             if self.nufft_type == 3:

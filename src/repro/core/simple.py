@@ -3,7 +3,13 @@
 These mirror FINUFFT/cuFINUFFT's "simple" interfaces: a single call that
 plans, sets points, executes and cleans up.  Use a :class:`Plan` directly when
 repeating transforms with the same nonuniform points (the whole reason the
-plan interface exists -- see the paper's discussion of "exec" timings).
+plan interface exists -- see the paper's discussion of "exec" timings), and
+:func:`repro.tuning.tune_opts` to autotune the plan parameters the wrappers
+would otherwise take from the paper's defaults.
+
+Every wrapper forwards unknown keyword arguments to :class:`Plan`, so
+``method=``, ``precision=``, ``backend=``, ``tune=`` and any other
+:class:`~repro.core.options.Opts` field work here too.
 """
 
 from __future__ import annotations
@@ -60,8 +66,34 @@ def _run_type3(coords, strengths, targets, eps, kwargs):
 def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
     """1D type-1 NUFFT: ``f_k = sum_j c_j exp(-i k x_j)``.
 
-    ``n_modes`` may be an integer ``N1`` or a 1-tuple; ``c`` may be ``(M,)``
-    or a stacked ``(n_trans, M)`` block.
+    Parameters
+    ----------
+    x : array_like, shape (M,)
+        Nonuniform points in ``[-pi, pi)`` (any reals are folded in).
+    c : array_like, shape (M,) or (n_trans, M)
+        Complex strengths; a stacked block runs as one batched transform.
+    n_modes : int or 1-tuple
+        Output mode count ``N1``.
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``tune=``, ...).
+
+    Returns
+    -------
+    ndarray, shape (N1,) or (n_trans, N1)
+        Fourier coefficients ordered by ascending frequency from ``-N1//2``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft1d1
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.uniform(-np.pi, np.pi, 500)
+    >>> c = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+    >>> nufft1d1(x, c, 64).shape
+    (64,)
     """
     if np.isscalar(n_modes):
         n_modes = (int(n_modes),)
@@ -71,10 +103,33 @@ def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
 
 
 def nufft1d2(x, f, eps=1e-6, **kwargs):
-    """1D type-2 NUFFT: evaluate the series ``f`` at the targets ``x``.
+    """1D type-2 NUFFT: evaluate the Fourier series ``f`` at the targets ``x``.
 
-    ``f`` may be a ``(N1,)`` mode array, or -- when ``n_trans`` is passed
-    explicitly -- a stacked ``(n_trans, N1)`` block.
+    Parameters
+    ----------
+    x : array_like, shape (M,)
+        Evaluation points in ``[-pi, pi)``.
+    f : array_like, shape (N1,) or (n_trans, N1)
+        Mode coefficients; pass ``n_trans`` explicitly for a stacked block.
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (M,) or (n_trans, M)
+        ``sum_k f_k exp(+i k x_j)`` per target.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft1d2
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.uniform(-np.pi, np.pi, 300)
+    >>> f = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+    >>> nufft1d2(x, f).shape
+    (300,)
     """
     f = np.asarray(f)
     expected = 2 if kwargs.get("n_trans", 1) > 1 else 1
@@ -86,8 +141,33 @@ def nufft1d2(x, f, eps=1e-6, **kwargs):
 def nufft1d3(x, c, s, eps=1e-6, **kwargs):
     """1D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_k x_j)``.
 
-    ``x`` and ``s`` are arbitrary real source points / target frequencies;
-    ``c`` may be ``(M,)`` or a stacked ``(n_trans, M)`` block.
+    Parameters
+    ----------
+    x : array_like, shape (M,)
+        Source points (arbitrary reals).
+    c : array_like, shape (M,) or (n_trans, M)
+        Complex strengths.
+    s : array_like, shape (N_k,)
+        Target frequencies (arbitrary reals).
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (N_k,) or (n_trans, N_k)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft1d3
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.uniform(-1.0, 1.0, 400)
+    >>> c = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+    >>> s = rng.uniform(-40.0, 40.0, 250)
+    >>> nufft1d3(x, c, s).shape
+    (250,)
     """
     return _run_type3((x,), c, (s,), eps, kwargs)
 
@@ -107,13 +187,24 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`Plan` (``method=``, ``precision=``, ...).
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``tune=``, ...).
 
     Returns
     -------
     ndarray, shape (N1, N2)
         Fourier coefficients, axes ordered by ascending frequency from
         ``-N//2``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft2d1
+    >>> rng = np.random.default_rng(0)
+    >>> x, y = rng.uniform(-np.pi, np.pi, (2, 800))
+    >>> c = rng.standard_normal(800) + 1j * rng.standard_normal(800)
+    >>> nufft2d1(x, y, c, (32, 32)).shape
+    (32, 32)
     """
     if len(n_modes) != 2:
         raise ValueError(f"n_modes must have length 2, got {n_modes!r}")
@@ -123,9 +214,31 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
 def nufft2d2(x, y, f, eps=1e-6, **kwargs):
     """2D type-2 NUFFT (paper Eq. (3)): evaluate the series ``f`` at ``(x, y)``.
 
-    ``f`` may be a ``(N1, N2)`` mode array, or -- when ``n_trans`` is passed
-    explicitly -- a stacked ``(n_trans, N1, N2)`` block evaluated in one
-    batched transform.
+    Parameters
+    ----------
+    x, y : array_like, shape (M,)
+        Evaluation points in ``[-pi, pi)``.
+    f : array_like, shape (N1, N2) or (n_trans, N1, N2)
+        Mode coefficients; pass ``n_trans`` explicitly for a stacked block,
+        evaluated in one batched transform.
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (M,) or (n_trans, M)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft2d2
+    >>> rng = np.random.default_rng(0)
+    >>> x, y = rng.uniform(-np.pi, np.pi, (2, 600))
+    >>> f = rng.standard_normal((24, 24)) + 1j * rng.standard_normal((24, 24))
+    >>> nufft2d2(x, y, f).shape
+    (600,)
     """
     f = np.asarray(f)
     expected = 3 if kwargs.get("n_trans", 1) > 1 else 2
@@ -135,20 +248,103 @@ def nufft2d2(x, y, f, eps=1e-6, **kwargs):
 
 
 def nufft2d3(x, y, c, s, t, eps=1e-6, **kwargs):
-    """2D type-3 NUFFT: ``f_k = sum_j c_j exp(+i (s_k x_j + t_k y_j))``."""
+    """2D type-3 NUFFT: ``f_k = sum_j c_j exp(+i (s_k x_j + t_k y_j))``.
+
+    Parameters
+    ----------
+    x, y : array_like, shape (M,)
+        Source points (arbitrary reals).
+    c : array_like, shape (M,) or (n_trans, M)
+        Complex strengths.
+    s, t : array_like, shape (N_k,)
+        Target frequencies (arbitrary reals).
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (N_k,) or (n_trans, N_k)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft2d3
+    >>> rng = np.random.default_rng(0)
+    >>> x, y = rng.uniform(-1.0, 1.0, (2, 400))
+    >>> c = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+    >>> s, t = rng.uniform(-20.0, 20.0, (2, 150))
+    >>> nufft2d3(x, y, c, s, t).shape
+    (150,)
+    """
     return _run_type3((x, y), c, (s, t), eps, kwargs)
 
 
 def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
-    """3D type-1 NUFFT."""
+    """3D type-1 NUFFT.
+
+    Parameters
+    ----------
+    x, y, z : array_like, shape (M,)
+        Nonuniform point coordinates in ``[-pi, pi)``.
+    c : array_like, shape (M,) or (n_trans, M)
+        Complex strengths.
+    n_modes : tuple (N1, N2, N3)
+        Output mode counts.
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (N1, N2, N3)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft3d1
+    >>> rng = np.random.default_rng(0)
+    >>> x, y, z = rng.uniform(-np.pi, np.pi, (3, 500))
+    >>> c = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+    >>> nufft3d1(x, y, z, c, (12, 12, 12)).shape
+    (12, 12, 12)
+    """
     if len(n_modes) != 3:
         raise ValueError(f"n_modes must have length 3, got {n_modes!r}")
     return _run_type1((x, y, z), c, tuple(n_modes), eps, kwargs)
 
 
 def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
-    """3D type-2 NUFFT (pass ``n_trans`` for stacked ``(n_trans, N1, N2, N3)``
-    batches)."""
+    """3D type-2 NUFFT: evaluate the series ``f`` at ``(x, y, z)``.
+
+    Parameters
+    ----------
+    x, y, z : array_like, shape (M,)
+        Evaluation points in ``[-pi, pi)``.
+    f : array_like, shape (N1, N2, N3) or (n_trans, N1, N2, N3)
+        Mode coefficients (pass ``n_trans`` for stacked batches).
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (M,) or (n_trans, M)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft3d2
+    >>> rng = np.random.default_rng(0)
+    >>> x, y, z = rng.uniform(-np.pi, np.pi, (3, 400))
+    >>> f = (rng.standard_normal((10, 10, 10))
+    ...      + 1j * rng.standard_normal((10, 10, 10)))
+    >>> nufft3d2(x, y, z, f).shape
+    (400,)
+    """
     f = np.asarray(f)
     expected = 4 if kwargs.get("n_trans", 1) > 1 else 3
     if f.ndim != expected:
@@ -157,5 +353,34 @@ def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
 
 
 def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, **kwargs):
-    """3D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_vec_k . x_vec_j)``."""
+    """3D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_vec_k . x_vec_j)``.
+
+    Parameters
+    ----------
+    x, y, z : array_like, shape (M,)
+        Source points (arbitrary reals).
+    c : array_like, shape (M,) or (n_trans, M)
+        Complex strengths.
+    s, t, u : array_like, shape (N_k,)
+        Target frequencies (arbitrary reals).
+    eps : float
+        Requested relative tolerance.
+    **kwargs
+        Forwarded to :class:`~repro.core.plan.Plan`.
+
+    Returns
+    -------
+    ndarray, shape (N_k,) or (n_trans, N_k)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import nufft3d3
+    >>> rng = np.random.default_rng(0)
+    >>> x, y, z = rng.uniform(-1.0, 1.0, (3, 300))
+    >>> c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+    >>> s, t, u = rng.uniform(-10.0, 10.0, (3, 120))
+    >>> nufft3d3(x, y, z, c, s, t, u).shape
+    (120,)
+    """
     return _run_type3((x, y, z), c, (s, t, u), eps, kwargs)

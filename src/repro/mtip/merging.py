@@ -32,11 +32,12 @@ class MergingOperator:
     ``plan_pool`` leases the plan from a
     :class:`repro.service.TransformService` instead of constructing it (see
     :class:`repro.mtip.slicing.SlicingOperator`); mutually exclusive with
-    ``device``.
+    ``device``.  ``tune``/``tuner`` autotune the owned plan's spread
+    parameters (ignored for leased plans, whose service sets the policy).
     """
 
     def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double",
-                 backend="auto", plan_pool=None):
+                 backend="auto", tune="off", tuner=None, plan_pool=None):
         self.n_modes = tuple(int(n) for n in n_modes)
         self._plan_pool = plan_pool
         if plan_pool is not None:
@@ -49,7 +50,8 @@ class MergingOperator:
                                              precision=precision, backend=backend)
         else:
             self.plan = Plan(1, self.n_modes, eps=eps, precision=precision,
-                             device=device, backend=backend)
+                             device=device, backend=backend, tune=tune,
+                             tuner=tuner)
         self.n_points = 0
         self._weights = None
         self._taper = self._build_taper()

@@ -45,6 +45,12 @@ class MTIPConfig:
     phasing_iterations: int = 60
     precision: str = "double"
     backend: str = "auto"
+    #: Plan-parameter autotuning mode of the slicing/merging plans the
+    #: reconstruction owns ("off", "model" or "measure"; see
+    #: :mod:`repro.tuning`).  When the plans are leased from a
+    #: :class:`~repro.service.TransformService`, the service's own ``tune``
+    #: policy governs instead.
+    tune: str = "off"
     seed: int = 0
 
 
@@ -119,7 +125,7 @@ class MTIPReconstruction:
         n_modes3 = (cfg.n_modes,) * 3
         slicer = SlicingOperator(n_modes3, points, eps=cfg.eps, device=self.device,
                                  precision=cfg.precision, backend=cfg.backend,
-                                 plan_pool=self.service)
+                                 tune=cfg.tune, plan_pool=self.service)
         values = slicer(self.true_modes)
         slicer.destroy()
         intensities = np.abs(values.reshape(cfg.n_images, -1)) ** 2
@@ -146,7 +152,7 @@ class MTIPReconstruction:
             self._slicer = SlicingOperator(
                 (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
                 precision=cfg.precision, backend=cfg.backend,
-                plan_pool=self.service,
+                tune=cfg.tune, plan_pool=self.service,
             )
         else:
             self._slicer.set_points(points)
@@ -158,7 +164,7 @@ class MTIPReconstruction:
             self._merger = MergingOperator(
                 (cfg.n_modes,) * 3, points, eps=cfg.eps, device=self.device,
                 precision=cfg.precision, backend=cfg.backend,
-                plan_pool=self.service,
+                tune=cfg.tune, plan_pool=self.service,
             )
         else:
             self._merger.set_points(points)

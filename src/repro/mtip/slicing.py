@@ -50,6 +50,13 @@ class SlicingOperator:
     backend : str, optional
         Execution backend of the plan (see :mod:`repro.backends`); the
         default ``"auto"`` resolves to the profiled ``device_sim``.
+    tune : str, optional
+        Plan-parameter autotuning mode of the owned plan (``"off"``,
+        ``"model"`` or ``"measure"``; see :mod:`repro.tuning`).  Ignored when
+        the plan is leased from a ``plan_pool`` -- the service's own policy
+        governs its pooled plans.
+    tuner : Autotuner, optional
+        Tuner to consult when tuning is enabled.
     plan_pool : TransformService, optional
         Lease the plan from a :class:`repro.service.TransformService` instead
         of constructing it: repeated operator builds with the same geometry
@@ -60,7 +67,7 @@ class SlicingOperator:
     """
 
     def __init__(self, n_modes, slice_points, eps=1e-12, device=None, precision="double",
-                 backend="auto", plan_pool=None):
+                 backend="auto", tune="off", tuner=None, plan_pool=None):
         self.n_modes = tuple(int(n) for n in n_modes)
         self._plan_pool = plan_pool
         if plan_pool is not None:
@@ -73,7 +80,8 @@ class SlicingOperator:
                                              precision=precision, backend=backend)
         else:
             self.plan = Plan(2, self.n_modes, eps=eps, precision=precision,
-                             device=device, backend=backend)
+                             device=device, backend=backend, tune=tune,
+                             tuner=tuner)
         self.n_points = 0
         self.set_points(slice_points)
 

@@ -11,10 +11,14 @@ transforms amortize their setup.  This package applies that amortization to a
   blocks (the batched engine of PR 1 executes them in one vectorized pass),
 * shards large blocks over a :class:`~repro.cluster.fleet.DeviceFleet` of
   simulated GPUs, mirroring the paper's multi-GPU weak-scaling experiment
-  (Fig. 9), and
+  (Fig. 9),
 * models stream-level h2d / exec / d2h overlap through the existing
   :mod:`repro.gpu` profiler and cost model, reporting modelled requests/s
-  and per-device utilization.
+  and per-device utilization, and
+* optionally autotunes every plan it creates (``TransformService(tune=...)``,
+  see :mod:`repro.tuning`): all pooled plans share one
+  :class:`~repro.tuning.Autotuner` and its persistent cache, so concurrent
+  requests of one problem signature trigger a single tuning run.
 
 Quickstart (mirrors the :class:`~repro.core.plan.Plan` quickstart)
 ------------------------------------------------------------------

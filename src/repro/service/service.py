@@ -90,13 +90,27 @@ class TransformService:
         Include plan construction (simulated allocations + the cuFFT plan
         cost the paper excludes with a dummy transform) in the modelled
         timeline of cache misses.  This is the cost pooling amortizes.
+    tune : str
+        Plan-parameter autotuning policy applied to every plan the service
+        creates (pooled or leased): ``"off"`` (default), ``"model"`` or
+        ``"measure"`` -- see :mod:`repro.tuning`.  All plans share the
+        service's single :class:`~repro.tuning.Autotuner`, so concurrent
+        requests that fall into one problem signature share one tuning entry.
+    tuner : Autotuner, optional
+        Tuner to share (e.g. across services); defaults to a fresh one over
+        ``tuning_cache_path`` when tuning is enabled.
+    tuning_cache_path : str, optional
+        On-disk tuning cache, so tuned configurations survive restarts.  A
+        corrupt or partially-written file falls back to model-scored tuning
+        (see :class:`~repro.tuning.TuningCache`).
     """
 
     def __init__(self, fleet=None, n_devices=1, streams_per_device=2,
                  max_plans=32, pool_plans=True, coalesce=True,
                  shard_min_block=4, max_block=64,
                  dispatch_latency_s=2.0e-5, charge_plan_creation=True,
-                 shared_host_link=True):
+                 shared_host_link=True, tune="off", tuner=None,
+                 tuning_cache_path=None):
         self.fleet = fleet if fleet is not None else DeviceFleet(
             n_devices=n_devices, streams_per_device=streams_per_device
         )
@@ -108,6 +122,22 @@ class TransformService:
         self.dispatch_latency_s = float(dispatch_latency_s)
         self.charge_plan_creation = bool(charge_plan_creation)
         self.shared_host_link = bool(shared_host_link)
+        from ..tuning import TUNE_MODES, Autotuner, TuningCache
+
+        if tune not in TUNE_MODES:
+            raise ValueError(f"tune must be one of {TUNE_MODES}, got {tune!r}")
+        self.tune = tune
+        if tune == "off":
+            if tuner is not None or tuning_cache_path is not None:
+                raise ValueError(
+                    "tuner/tuning_cache_path have no effect with tune='off'; "
+                    "pass tune='model' or tune='measure' to enable autotuning"
+                )
+            self.tuner = None
+        elif tuner is not None:
+            self.tuner = tuner
+        else:
+            self.tuner = Autotuner(cache=TuningCache(tuning_cache_path))
         self.stats = ServiceStats()
         self._queue = []  # list[(seq, TransformRequest)]
         self._seq = itertools.count()
@@ -364,7 +394,7 @@ class TransformService:
         modes = req.ndim if req.nufft_type == 3 else req.n_modes
         return Plan(req.nufft_type, modes, n_trans=n_trans, eps=req.eps,
                     device=device, precision=req.precision, method=req.method,
-                    backend=req.backend)
+                    backend=req.backend, tune=self.tune, tuner=self.tuner)
 
     # ------------------------------------------------------------------ #
     # external plan leasing (application integration, e.g. M-TIP)
@@ -383,7 +413,8 @@ class TransformService:
             plan_key, int(n_trans), None,
             lambda device: Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps,
                                 device=device, precision=precision,
-                                method=method, backend=backend),
+                                method=method, backend=backend,
+                                tune=self.tune, tuner=self.tuner),
             allow_repoint=True,
         )
         if created:
@@ -444,15 +475,24 @@ class TransformService:
         """Multi-line human-readable serving summary."""
         s = self.stats
         util = ", ".join(f"gpu{d}={u:.0%}" for d, u in enumerate(self.utilization()))
+        tuning_lines = []
+        if self.tuner is not None:
+            ts = self.tuner.stats
+            tuning_lines.append(
+                f"  tuning: {ts.tunings_computed} computed, {ts.cache_hits} "
+                f"cache hits, {len(self.tuner.cache)} cached signature(s)"
+            )
         return "\n".join([
             f"TransformService: {self.fleet.n_devices} device(s), "
             f"pool={'on' if self.pool_plans else 'off'} "
             f"(max {self.pool.max_plans}), "
-            f"coalesce={'on' if self.coalesce else 'off'}",
+            f"coalesce={'on' if self.coalesce else 'off'}, "
+            f"tune={self.tune}",
             f"  requests: {s.requests_served} served, {s.requests_failed} failed, "
             f"{s.blocks_executed} blocks, {s.shards_executed} shards",
             f"  plans: {s.plans_created} created, {s.plan_cache_hits} pool hits, "
             f"{s.setpts_skipped} set_pts skipped",
+            *tuning_lines,
             f"  modelled: makespan {1e3 * self.makespan():.3f} ms, "
             f"{self.throughput_rps():.0f} req/s, exec util [{util}]",
         ])

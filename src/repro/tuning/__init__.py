@@ -1,0 +1,65 @@
+"""Cost-model-driven autotuning of plan parameters.
+
+The paper fixes its plan parameters once and for all (Remark 1: 32x32 /
+16x16x2 bins, ``Msub = 1024``; Remark 2 / Sec. III-B: the AUTO method
+table).  This package searches those knobs per *problem signature* -- the
+(type, dimension, density, precision, tolerance, distribution) bucket a
+transform falls into -- in the spirit of FFTW/cuFFT plan-time tuning, scoring
+candidates with the same simulated-GPU cost model that regenerates the
+paper's tables, and caching winners on disk so every layer of the stack
+reuses them:
+
+* ``Plan(..., tune="model")`` tunes at ``set_pts`` time against the actual
+  point coordinates;
+* ``Plan(..., tune="measure")`` additionally re-ranks the model's finalists
+  by executing small real plans;
+* ``TransformService(tune=...)`` shares one :class:`Autotuner` across all
+  pooled plans, so concurrent requests of one signature tune once;
+* :func:`tune_opts` is the standalone one-call entry point;
+* ``benchmarks/bench_autotune.py`` sweeps AUTO vs tuned across the
+  1D/2D/3D x type-1/2/3 grid and gates the geomean in CI.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import Plan
+>>> rng = np.random.default_rng(0)
+>>> x, y = rng.uniform(-np.pi, np.pi, (2, 20_000))
+>>> c = rng.normal(size=20_000) + 1j * rng.normal(size=20_000)
+>>> with Plan(1, (64, 64), eps=1e-6, tune="model") as plan:
+...     _ = plan.set_pts(x, y)          # tunes, then bin-sorts
+...     f = plan.execute(c)
+...     tuned = plan.tuned
+>>> tuned.speedup >= 1.0                # never worse than the paper defaults
+True
+>>> f.shape
+(64, 64)
+"""
+
+from .cache import SCHEMA_VERSION, TuningCache
+from .search import (
+    TUNE_MODES,
+    Autotuner,
+    CandidateSpace,
+    TunerStats,
+    TuningResult,
+    default_autotuner,
+    tune_opts,
+)
+from .signature import ProblemSignature, TuningProblem, problem_signature
+
+__all__ = [
+    "Autotuner",
+    "CandidateSpace",
+    "ProblemSignature",
+    "SCHEMA_VERSION",
+    "TUNE_MODES",
+    "TunerStats",
+    "TuningCache",
+    "TuningProblem",
+    "TuningResult",
+    "default_autotuner",
+    "problem_signature",
+    "tune_opts",
+]

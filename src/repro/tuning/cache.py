@@ -1,0 +1,182 @@
+"""Persistent on-disk cache of tuned plan configurations.
+
+The cache is the plan-time analogue of FFTW "wisdom": one JSON file mapping
+:meth:`~repro.tuning.signature.ProblemSignature.key` strings to tuning
+records, shared by every :class:`~repro.core.plan.Plan`, the
+:class:`~repro.service.TransformService` plan pool and the benchmark harness
+that point at the same path.
+
+Robustness contract (pinned by ``tests/test_tuning.py``):
+
+* a **corrupt or partially-written** cache file never raises -- loading falls
+  back to an empty cache, records the problem in :attr:`TuningCache.load_error`
+  and the next successful ``put`` rewrites the file wholesale;
+* writes are **atomic** (temp file + ``os.replace``), so a reader can never
+  observe a half-written file produced by this module;
+* entries with an unknown schema version or malformed shape are skipped
+  individually, so one bad record does not poison the rest;
+* all operations are **thread-safe** -- concurrent service requests tuning
+  the same signature coordinate through one lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+
+__all__ = ["TuningCache", "SCHEMA_VERSION"]
+
+#: Bump when the record layout changes; mismatched entries are ignored.
+SCHEMA_VERSION = 1
+
+#: Fields a well-formed tuning record must carry.
+_REQUIRED_FIELDS = ("version", "opts", "score_s", "baseline_score_s", "mode")
+
+#: Option fields a record's ``opts`` mapping must carry -- exactly what
+#: :meth:`repro.tuning.TuningResult.apply_to` reads, so a field-truncated
+#: entry is rejected here instead of raising ``KeyError`` inside
+#: ``Plan.set_pts``.
+REQUIRED_OPTS_FIELDS = (
+    "method",
+    "bin_shape",
+    "max_subproblem_size",
+    "threads_per_block",
+    "stencil_budget",
+    "backend",
+)
+
+
+def _valid_record(record):
+    return (
+        isinstance(record, dict)
+        and all(f in record for f in _REQUIRED_FIELDS)
+        and record["version"] == SCHEMA_VERSION
+        and isinstance(record["opts"], dict)
+        and all(f in record["opts"] for f in REQUIRED_OPTS_FIELDS)
+    )
+
+
+class TuningCache:
+    """Thread-safe signature -> tuning-record store, optionally file-backed.
+
+    Parameters
+    ----------
+    path : str or None
+        JSON file to persist to.  ``None`` keeps the cache in memory only
+        (the default for ad-hoc plans; services and benchmarks pass a path so
+        tuned configurations survive across processes).
+
+    Examples
+    --------
+    >>> from repro.tuning import TuningCache
+    >>> cache = TuningCache()          # in-memory
+    >>> cache.put("t1.2d.single.e-06.n7.rho+2.rand",
+    ...           {"version": 1, "score_s": 1e-3, "baseline_score_s": 2e-3,
+    ...            "mode": "model",
+    ...            "opts": {"method": "SM", "bin_shape": [32, 32],
+    ...                     "max_subproblem_size": 1024,
+    ...                     "threads_per_block": 128,
+    ...                     "stencil_budget": 33554432, "backend": "auto"}})
+    >>> cache.get("t1.2d.single.e-06.n7.rho+2.rand")["opts"]["method"]
+    'SM'
+    >>> cache.get("no-such-signature") is None
+    True
+    """
+
+    def __init__(self, path=None):
+        self.path = os.fspath(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._entries = {}
+        #: Description of the last failed load (corrupt file), or None.
+        self.load_error = None
+        #: Number of entries skipped during load (bad schema/shape).
+        self.skipped_entries = 0
+        if self.path is not None:
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _load(self):
+        """Read the backing file, tolerating corruption and bad entries."""
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as fh:
+                raw = json.load(fh)
+            if not isinstance(raw, dict) or not isinstance(raw.get("entries"), dict):
+                raise ValueError("tuning cache file has no 'entries' mapping")
+        except (OSError, ValueError) as exc:
+            # Corrupt / truncated / unreadable file: fall back to model-scored
+            # tuning on an empty cache rather than failing the transform.
+            self.load_error = f"{type(exc).__name__}: {exc}"
+            self._entries = {}
+            return
+        entries = {}
+        for key, record in raw["entries"].items():
+            if _valid_record(record):
+                entries[key] = record
+            else:
+                self.skipped_entries += 1
+        self._entries = entries
+
+    def _save_locked(self):
+        """Atomically rewrite the backing file (caller holds the lock)."""
+        if self.path is None:
+            return
+        payload = {"schema": SCHEMA_VERSION, "entries": self._entries}
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tuning-", suffix=".json", dir=directory)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def get(self, key):
+        """Return the record stored for ``key`` (a signature key), or None."""
+        with self._lock:
+            record = self._entries.get(str(key))
+            return dict(record) if record is not None else None
+
+    def put(self, key, record):
+        """Store ``record`` under ``key`` and persist (atomic) if file-backed."""
+        if not _valid_record(record):
+            raise ValueError(
+                f"malformed tuning record for {key!r}: needs fields "
+                f"{_REQUIRED_FIELDS} (with opts fields {REQUIRED_OPTS_FIELDS}) "
+                f"at schema version {SCHEMA_VERSION}"
+            )
+        with self._lock:
+            self._entries[str(key)] = dict(record)
+            self._save_locked()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return str(key) in self._entries
+
+    def keys(self):
+        """Snapshot of the cached signature keys."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self):
+        """Drop every entry (and rewrite the backing file if any)."""
+        with self._lock:
+            self._entries = {}
+            self._save_locked()

@@ -1,0 +1,219 @@
+"""Problem signatures: the key space of the plan-parameter autotuner.
+
+A tuned configuration is only worth persisting if it can be *found again* by
+a later transform that is "the same problem" in the sense that matters to the
+cost model.  The cost model's terms depend on the problem only through
+
+* the transform type and dimensionality (which stage pipeline runs),
+* the precision (FLOP rate, item sizes, shared-memory fit),
+* the kernel width (a function of ``eps`` alone, Eq. (6)),
+* the scale of the uniform grid (FFT cost, footprint vs cache sizes), and
+* the point *density* rho = M / N_total and distribution (atomic contention,
+  occupancy, subproblem counts).
+
+:class:`ProblemSignature` therefore buckets exactly those quantities:
+``eps`` by its decade, grid size and density by their binary order of
+magnitude.  Problems landing in the same bucket share one cache entry, so a
+service facing a stream of slightly-varying request sizes converges onto a
+small, stable set of tuned configurations instead of re-tuning per request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProblemSignature", "TuningProblem", "problem_signature"]
+
+
+@dataclass(frozen=True)
+class ProblemSignature:
+    """Hashable bucket of the problem parameters the cost model is sensitive to.
+
+    Attributes
+    ----------
+    nufft_type : int
+        1, 2 or 3 (selects the stage pipeline being tuned).
+    ndim : int
+        Transform dimensionality (1-3).
+    precision : str
+        ``"single"`` or ``"double"``.
+    eps_decade : int
+        ``round(log10(eps))`` -- the kernel width is a function of this alone.
+    log2_modes : int
+        ``round(log2(geometric-mean mode count per dimension))``; for type 3
+        the derived composition grid plays the role of the mode grid.
+    log2_density : int
+        ``round(log2(M / N_total))``, the paper's point density rho relative
+        to the uniform grid.
+    distribution : str
+        Named point distribution the occupancy statistics assume (``"rand"``
+        for real point sets, whose sampled histogram dominates the score).
+
+    Examples
+    --------
+    >>> from repro.tuning import problem_signature
+    >>> sig = problem_signature(1, (128, 128), 65536, 1e-6, "single")
+    >>> sig.ndim, sig.eps_decade, sig.log2_density
+    (2, -6, 2)
+    >>> sig == problem_signature(1, (128, 128), 80000, 1e-6, "single")
+    True
+    """
+
+    nufft_type: int
+    ndim: int
+    precision: str
+    eps_decade: int
+    log2_modes: int
+    log2_density: int
+    distribution: str = "rand"
+
+    def key(self):
+        """Stable string key used by the on-disk tuning cache."""
+        return (
+            f"t{self.nufft_type}.{self.ndim}d.{self.precision}"
+            f".e{self.eps_decade:+d}.n{self.log2_modes}"
+            f".rho{self.log2_density:+d}.{self.distribution}"
+        )
+
+
+@dataclass
+class TuningProblem:
+    """One concrete transform the autotuner is asked to tune.
+
+    Unlike a :class:`ProblemSignature` (the cache bucket), a ``TuningProblem``
+    carries the exact parameters -- and optionally the actual nonuniform
+    coordinates -- so candidate configurations can be scored against the real
+    occupancy histogram rather than a named distribution.
+
+    Attributes
+    ----------
+    nufft_type, n_modes, n_points, eps, precision
+        Mirror :class:`repro.core.plan.Plan`.  For type 3, ``n_modes`` is the
+        rescaled composition grid the plan derives in ``set_pts`` (the grid
+        the type-1-style spread lands on).
+    distribution : str
+        Named distribution used when ``coords`` is not given.
+    coords : sequence of ndarray or None
+        Actual nonuniform coordinates (one array per dimension, any length);
+        a subsample is bin-sorted per candidate bin shape and rescaled to
+        ``n_points``.
+    """
+
+    nufft_type: int
+    n_modes: tuple
+    n_points: int
+    eps: float
+    precision: str
+    distribution: str = "rand"
+    coords: object = None
+
+    def __post_init__(self):
+        self.n_modes = tuple(int(n) for n in self.n_modes)
+        self.n_points = int(self.n_points)
+        self.eps = float(self.eps)
+        if self.nufft_type not in (1, 2, 3):
+            raise ValueError(f"nufft_type must be 1, 2 or 3, got {self.nufft_type}")
+        if len(self.n_modes) not in (1, 2, 3):
+            raise ValueError(f"n_modes must have 1-3 entries, got {self.n_modes}")
+        if self.n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {self.n_points}")
+        if not math.isfinite(self.eps) or self.eps <= 0.0:
+            raise ValueError(f"eps must be a finite positive tolerance, got {self.eps}")
+
+    @property
+    def ndim(self):
+        return len(self.n_modes)
+
+    def signature(self):
+        """The :class:`ProblemSignature` bucket this problem falls into.
+
+        When actual coordinates are carried, the distribution tag gains a
+        coarse *occupancy bucket* (``rand.occ0``, ``rand.occ-2``, ...)
+        derived from the points themselves, so clustered and uniform point
+        sets -- whose tuned configurations legitimately differ -- never
+        alias one cache entry.
+        """
+        distribution = self.distribution
+        if self.coords is not None:
+            distribution = f"{self.distribution}.occ{self._occupancy_bucket()}"
+        return problem_signature(
+            self.nufft_type, self.n_modes, self.n_points, self.eps,
+            self.precision, distribution=distribution,
+        )
+
+    def _occupancy_bucket(self):
+        """Binary order of magnitude of observed vs uniform cell occupancy.
+
+        A deterministic (strided) subsample of the coordinates is histogrammed
+        on a coarse periodic grid; the fraction of occupied cells is compared
+        with the expectation for uniform points, and the log2 of the ratio is
+        the bucket (0 = uniform-like, increasingly negative = clustered).
+        """
+        coords = [np.asarray(c, dtype=np.float64) for c in self.coords]
+        m = coords[0].shape[0]
+        step = max(1, m // 4096)
+        sample = [c[::step][:4096] for c in coords]
+        n = sample[0].shape[0]
+        cells_per_dim = {1: 1024, 2: 64, 3: 16}[self.ndim]
+        cell_index = None
+        stride = 1
+        for c in sample:
+            cell = np.floor(np.mod(c, 2.0 * np.pi)
+                            * (cells_per_dim / (2.0 * np.pi))).astype(np.int64)
+            np.clip(cell, 0, cells_per_dim - 1, out=cell)
+            cell_index = cell * stride if cell_index is None else cell_index + cell * stride
+            stride *= cells_per_dim
+        total_cells = float(cells_per_dim ** self.ndim)
+        occupied = float(np.unique(cell_index).shape[0])
+        expected = total_cells * (1.0 - (1.0 - 1.0 / total_cells) ** n)
+        ratio = occupied / max(expected, 1.0)
+        return int(np.clip(round(math.log2(max(ratio, 2.0 ** -10))), -10, 1))
+
+
+def problem_signature(nufft_type, n_modes, n_points, eps, precision,
+                      distribution="rand"):
+    """Bucket one transform's parameters into a :class:`ProblemSignature`.
+
+    Parameters
+    ----------
+    nufft_type : int
+        1, 2 or 3.
+    n_modes : tuple of int
+        Uniform mode counts (types 1/2) or the derived composition grid
+        (type 3); its length gives the dimension.
+    n_points : int
+        Number of nonuniform points ``M``.
+    eps : float
+        Requested tolerance.
+    precision : str or Precision
+        ``"single"`` / ``"double"`` (any spelling ``Precision.parse`` takes).
+    distribution : str
+        Named point distribution.
+
+    Returns
+    -------
+    ProblemSignature
+    """
+    from ..core.options import Precision
+
+    n_modes = tuple(int(n) for n in n_modes)
+    n_points = int(n_points)
+    eps = float(eps)
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    if not math.isfinite(eps) or eps <= 0.0:
+        raise ValueError(f"eps must be a finite positive tolerance, got {eps}")
+    n_total = float(np.prod(n_modes))
+    geo_mean = n_total ** (1.0 / len(n_modes))
+    return ProblemSignature(
+        nufft_type=int(nufft_type),
+        ndim=len(n_modes),
+        precision=Precision.parse(precision).value,
+        eps_decade=int(round(math.log10(eps))),
+        log2_modes=int(round(math.log2(max(geo_mean, 1.0)))),
+        log2_density=int(round(math.log2(max(n_points / n_total, 2.0 ** -20)))),
+        distribution=str(distribution),
+    )

@@ -1,0 +1,506 @@
+"""Tests of the plan-parameter autotuner (repro.tuning) and its wiring.
+
+Pins the contracts the docs advertise:
+
+* signatures bucket "the same problem" together and separate what the cost
+  model distinguishes;
+* the tuning cache survives corrupt/partial files by falling back to
+  model-scored tuning (never raising), skips bad entries individually, and
+  writes atomically;
+* the search always includes the paper-default configuration, so tuned
+  scores are never worse than the baseline under the model;
+* concurrent tuners of one signature -- including concurrent
+  TransformService requests -- share a single tuning entry;
+* tuned plans compute the same numbers as untuned plans (method/bin choices
+  are performance-only).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Plan
+from repro.core.options import Opts, SpreadMethod
+from repro.service import TransformService
+from repro.tuning import (
+    SCHEMA_VERSION,
+    Autotuner,
+    TuningCache,
+    TuningProblem,
+    problem_signature,
+    tune_opts,
+)
+
+
+def _valid_record(method="SM", score=1e-3, baseline=2e-3):
+    return {
+        "version": SCHEMA_VERSION,
+        "opts": {
+            "method": method,
+            "bin_shape": [32, 32],
+            "max_subproblem_size": 1024,
+            "threads_per_block": 128,
+            "stencil_budget": 1 << 25,
+            "backend": "auto",
+        },
+        "score_s": score,
+        "baseline_score_s": baseline,
+        "mode": "model",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# signatures
+# --------------------------------------------------------------------------- #
+class TestSignature:
+    def test_nearby_problems_share_a_bucket(self):
+        a = problem_signature(1, (128, 128), 65_536, 1e-6, "single")
+        b = problem_signature(1, (128, 128), 80_000, 1.2e-6, "single")
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_cost_relevant_parameters_separate_buckets(self):
+        base = problem_signature(1, (128, 128), 65_536, 1e-6, "single")
+        assert base != problem_signature(2, (128, 128), 65_536, 1e-6, "single")
+        assert base != problem_signature(1, (128, 128), 65_536, 1e-9, "single")
+        assert base != problem_signature(1, (128, 128), 65_536, 1e-6, "double")
+        assert base != problem_signature(1, (128, 128), 1_000, 1e-6, "single")
+        assert base != problem_signature(1, (1024, 1024), 65_536, 1e-6, "single")
+        assert base != problem_signature(1, (128, 128), 65_536, 1e-6, "single",
+                                         distribution="cluster")
+
+    def test_problem_validation(self):
+        with pytest.raises(ValueError):
+            TuningProblem(4, (64,), 100, 1e-6, "single")
+        with pytest.raises(ValueError):
+            TuningProblem(1, (64,), 0, 1e-6, "single")
+        with pytest.raises(ValueError):
+            TuningProblem(1, (64,), 100, -1e-6, "single")
+
+
+# --------------------------------------------------------------------------- #
+# cache robustness
+# --------------------------------------------------------------------------- #
+class TestTuningCache:
+    def test_roundtrip_across_instances(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        cache = TuningCache(path)
+        cache.put("sig-a", _valid_record())
+        reloaded = TuningCache(path)
+        assert reloaded.get("sig-a")["opts"]["method"] == "SM"
+        assert len(reloaded) == 1
+
+    def test_corrupt_file_falls_back_to_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text("{not json at all!!!")
+        cache = TuningCache(path)
+        assert len(cache) == 0
+        assert cache.load_error is not None
+        # the cache remains writable; the rewrite repairs the file
+        cache.put("sig-a", _valid_record())
+        assert TuningCache(path).get("sig-a") is not None
+
+    def test_partial_file_falls_back_to_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        full = json.dumps({"schema": SCHEMA_VERSION,
+                           "entries": {"sig-a": _valid_record()}})
+        path.write_text(full[: len(full) // 2])  # truncated mid-write
+        cache = TuningCache(path)
+        assert len(cache) == 0
+        assert cache.load_error is not None
+
+    def test_wrong_shape_file_falls_back_to_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        cache = TuningCache(path)
+        assert len(cache) == 0
+        assert cache.load_error is not None
+
+    def test_bad_entries_skipped_individually(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        truncated_opts = _valid_record()
+        del truncated_opts["opts"]["method"]  # field-level truncation
+        entries = {
+            "good": _valid_record(),
+            "bad-version": dict(_valid_record(), version=SCHEMA_VERSION + 1),
+            "bad-shape": {"version": SCHEMA_VERSION},
+            "not-a-dict": 42,
+            "empty-opts": dict(_valid_record(), opts={}),
+            "truncated-opts": truncated_opts,
+        }
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION, "entries": entries}))
+        cache = TuningCache(path)
+        assert cache.get("good") is not None
+        assert cache.get("bad-version") is None
+        assert cache.get("empty-opts") is None  # would KeyError in apply_to
+        assert cache.get("truncated-opts") is None
+        assert cache.skipped_entries == 5
+
+    def test_put_rejects_malformed_records(self):
+        cache = TuningCache()
+        with pytest.raises(ValueError):
+            cache.put("sig", {"version": SCHEMA_VERSION})
+
+    def test_clear_persists(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        cache = TuningCache(path)
+        cache.put("sig-a", _valid_record())
+        cache.clear()
+        assert len(TuningCache(path)) == 0
+
+
+# --------------------------------------------------------------------------- #
+# the search
+# --------------------------------------------------------------------------- #
+class TestAutotuner:
+    def test_tuned_never_worse_than_baseline(self):
+        tuner = Autotuner(max_sample=1 << 12)
+        for problem in (
+            TuningProblem(1, (64, 64), 50_000, 1e-6, "single"),
+            TuningProblem(2, (32, 32, 32), 50_000, 1e-6, "single"),
+            TuningProblem(3, (48, 48), 20_000, 1e-6, "single"),
+        ):
+            result = tuner.tune(problem)
+            assert result.score_s <= result.baseline_score_s
+            assert result.speedup >= 1.0
+            assert result.n_candidates > 1
+            # tuned fields build valid options
+            opts = result.apply_to(Opts(precision=problem.precision),
+                                   include_backend=True)
+            assert len(opts.resolved_bin_shape(problem.ndim)) == problem.ndim
+
+    def test_same_signature_hits_cache(self):
+        tuner = Autotuner(max_sample=1 << 12)
+        p1 = TuningProblem(1, (64, 64), 50_000, 1e-6, "single")
+        p2 = TuningProblem(1, (64, 64), 55_000, 1e-6, "single")  # same bucket
+        r1 = tuner.tune(p1)
+        r2 = tuner.tune(p2)
+        assert not r1.from_cache and r2.from_cache
+        assert r1.opts == r2.opts
+        assert tuner.stats.tunings_computed == 1
+        assert tuner.stats.cache_hits == 1
+
+    def test_deterministic(self):
+        r1 = Autotuner(max_sample=1 << 12).tune(
+            TuningProblem(1, (64, 64), 50_000, 1e-6, "single"))
+        r2 = Autotuner(max_sample=1 << 12).tune(
+            TuningProblem(1, (64, 64), 50_000, 1e-6, "single"))
+        assert r1.opts == r2.opts
+        assert r1.score_s == pytest.approx(r2.score_s)
+
+    def test_type2_never_tunes_to_sm(self):
+        tuner = Autotuner(max_sample=1 << 12)
+        result = tuner.tune(TuningProblem(2, (64, 64), 50_000, 1e-6, "single"))
+        assert result.opts["method"] != SpreadMethod.SM.value
+
+    def test_sm_infeasible_candidates_pruned(self):
+        # 3D double at 1e-9: the kernel is wide enough that most padded bins
+        # exceed shared memory (paper Remark 2); whatever wins must be a
+        # feasible configuration.
+        tuner = Autotuner(max_sample=1 << 12)
+        result = tuner.tune(TuningProblem(1, (64, 64, 64), 200_000, 1e-9, "double"))
+        if result.opts["method"] == SpreadMethod.SM.value:
+            from repro.gpu.device import V100_SPEC
+            from repro.gpu.threadblock import check_shared_memory_fit
+            from repro.kernels.es_kernel import ESKernel
+
+            kernel = ESKernel.from_tolerance(1e-9)
+            check_shared_memory_fit(tuple(result.opts["bin_shape"]),
+                                    kernel.width, 16, V100_SPEC)
+
+    def test_concurrent_tuning_shares_one_entry(self):
+        tuner = Autotuner(max_sample=1 << 12)
+        problem = TuningProblem(1, (64, 64), 50_000, 1e-6, "single")
+        results = []
+        errors = []
+
+        def work():
+            try:
+                results.append(tuner.tune(problem))
+            except Exception as exc:  # pragma: no cover - fail loudly below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 8
+        assert tuner.stats.tunings_computed == 1
+        assert {json.dumps(r.opts, sort_keys=True) for r in results} == {
+            json.dumps(results[0].opts, sort_keys=True)
+        }
+
+    def test_measure_mode(self):
+        tuner = Autotuner(max_sample=1 << 12, measure_sample=1 << 10, top_k=2)
+        result = tuner.tune(TuningProblem(1, (32, 32), 20_000, 1e-6, "single"),
+                            mode="measure")
+        assert result.mode == "measure"
+        assert result.measured_s is not None and result.measured_s > 0
+        assert tuner.stats.plans_measured == 2
+
+    def test_measure_mode_shrinks_paper_scale_grids(self):
+        # A paper-scale grid must be measured on a density-preserving shrunk
+        # grid, never by allocating the full fine grid.
+        tuner = Autotuner(max_sample=1 << 11, measure_sample=1 << 10, top_k=1)
+        problem = TuningProblem(1, (256, 256, 256), 1 << 25, 1e-6, "single")
+        small = tuner._measure_modes(problem, 1 << 10)
+        assert np.prod(small) <= 4 * (1 << 10)  # stays laptop-sized
+        density_full = (1 << 25) / np.prod((256, 256, 256))
+        density_small = (1 << 10) / np.prod(small)
+        assert 0.2 * density_full <= density_small <= 5 * density_full
+        # and the measured pass actually completes quickly on it
+        result = tuner.tune(problem, mode="measure")
+        assert result.measured_s is not None and result.measured_s > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Autotuner(objective="nonsense")
+        with pytest.raises(ValueError):
+            Autotuner().tune(TuningProblem(1, (64,), 100, 1e-6, "single"),
+                             mode="nope")
+
+    def test_tune_opts_entry_point(self):
+        tuner = Autotuner(max_sample=1 << 12)
+        opts = tune_opts(1, (64, 64), 50_000, eps=1e-6, tuner=tuner)
+        assert isinstance(opts, Opts)
+        assert opts.method is not SpreadMethod.AUTO
+
+    def test_pass_through_base_fields_do_not_alias_cache_entries(self):
+        # A record tuned under default options must not clobber another
+        # caller's explicit stencil budget via a cache hit.
+        tuner = Autotuner(max_sample=1 << 12)
+        problem = TuningProblem(1, (64, 64), 50_000, 1e-6, "single")
+        r_default = tuner.tune(problem)
+        custom = Opts(precision="single", stencil_budget=1 << 20)
+        r_custom = tuner.tune(problem, base_opts=custom)
+        assert not r_custom.from_cache  # separate cache entry
+        assert r_custom.opts["stencil_budget"] == 1 << 20
+        assert r_default.opts["stencil_budget"] == Opts().stencil_budget
+        assert r_custom.apply_to(custom).stencil_budget == 1 << 20
+
+    def test_clustered_and_uniform_coords_use_separate_buckets(self):
+        rng = np.random.default_rng(0)
+        m = 20_000
+        uniform = [rng.uniform(-np.pi, np.pi, m) for _ in range(2)]
+        clustered = [0.05 * rng.standard_normal(m) for _ in range(2)]
+        p_uniform = TuningProblem(1, (64, 64), m, 1e-6, "single",
+                                  coords=uniform)
+        p_clustered = TuningProblem(1, (64, 64), m, 1e-6, "single",
+                                    coords=clustered)
+        assert p_uniform.signature() != p_clustered.signature()
+        tuner = Autotuner(max_sample=1 << 12)
+        tuner.tune(p_uniform)
+        r = tuner.tune(p_clustered)
+        assert not r.from_cache
+        assert tuner.stats.tunings_computed == 2
+
+    def test_sm_feasibility_respects_device_spec(self):
+        from dataclasses import replace
+
+        from repro.gpu.device import V100_SPEC
+        from repro.gpu.threadblock import padded_bin_shape
+
+        from repro.kernels.es_kernel import ESKernel
+
+        tiny = replace(V100_SPEC, name="tiny-shm", shared_mem_per_block=2048)
+        tuner = Autotuner(max_sample=1 << 12)
+        problem = TuningProblem(1, (64, 64), 200_000, 1e-6, "single")
+        result = tuner.tune(problem, spec=tiny)
+        assert not result.from_cache  # device-specific cache entry
+        if result.opts["method"] == SpreadMethod.SM.value:
+            w = ESKernel.from_tolerance(1e-6).width
+            padded = np.prod(padded_bin_shape(tuple(result.opts["bin_shape"]), w))
+            assert padded * 8 <= tiny.shared_mem_per_block
+        # the default-device entry is independent
+        r_v100 = tuner.tune(problem)
+        assert not r_v100.from_cache
+
+
+# --------------------------------------------------------------------------- #
+# plan integration
+# --------------------------------------------------------------------------- #
+class TestPlanTuning:
+    def test_tuned_plan_matches_untuned_numerics(self):
+        rng = np.random.default_rng(0)
+        m = 10_000
+        x, y = rng.uniform(-np.pi, np.pi, (2, m))
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        tuner = Autotuner(max_sample=1 << 12)
+        with Plan(1, (48, 48), eps=1e-6, tune="model", tuner=tuner) as tuned:
+            tuned.set_pts(x, y)
+            f_tuned = tuned.execute(c)
+            assert tuned.tuned is not None
+            assert tuned.tuned.speedup >= 1.0
+        with Plan(1, (48, 48), eps=1e-6) as plain:
+            plain.set_pts(x, y)
+            f_plain = plain.execute(c)
+            assert plain.tuned is None
+        scale = np.abs(f_plain).max()
+        assert np.allclose(f_tuned, f_plain, atol=1e-5 * scale, rtol=1e-4)
+
+    def test_tuned_type3_runs(self):
+        rng = np.random.default_rng(1)
+        m = 4_000
+        x = rng.uniform(-np.pi, np.pi, m)
+        s = rng.uniform(-20, 20, m)
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        tuner = Autotuner(max_sample=1 << 12)
+        with Plan(3, 1, eps=1e-6, tune="model", tuner=tuner) as plan:
+            plan.set_pts(x, s=s)
+            out = plan.execute(c)
+        assert out.shape == (m,)
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_tune_value(self):
+        with pytest.raises(ValueError, match="tune"):
+            Plan(1, (32, 32), tune="sometimes")
+
+    def test_plans_share_tuner_cache(self):
+        rng = np.random.default_rng(2)
+        m = 8_000
+        tuner = Autotuner(max_sample=1 << 12)
+        for _ in range(3):
+            x, y = rng.uniform(-np.pi, np.pi, (2, m))
+            with Plan(1, (48, 48), eps=1e-6, tune="model", tuner=tuner) as plan:
+                plan.set_pts(x, y)
+        assert tuner.stats.tunings_computed == 1
+        assert tuner.stats.cache_hits == 2
+
+
+# --------------------------------------------------------------------------- #
+# service integration
+# --------------------------------------------------------------------------- #
+class TestServiceTuning:
+    def _submit_batch(self, service, rng, m=6_000, rounds=3):
+        for _ in range(rounds):
+            x, y = rng.uniform(-np.pi, np.pi, (2, m))
+            c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+            service.submit(nufft_type=1, n_modes=(48, 48), data=c, x=x, y=y)
+        return service.flush()
+
+    def test_requests_share_one_tuning_entry_per_signature(self):
+        rng = np.random.default_rng(0)
+        with TransformService(tune="model") as service:
+            results = self._submit_batch(service, rng)
+            assert all(r.error is None for r in results)
+            # three distinct point sets, one signature bucket: tuned once
+            assert service.tuner.stats.tunings_computed == 1
+            assert len(service.tuner.cache) == 1
+
+    def test_tuned_service_matches_untuned_outputs(self):
+        rng = np.random.default_rng(3)
+        m = 6_000
+        x, y = rng.uniform(-np.pi, np.pi, (2, m))
+        c = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        kwargs = dict(nufft_type=1, n_modes=(48, 48), data=c, x=x, y=y)
+        with TransformService(tune="model") as tuned, TransformService() as plain:
+            r_tuned = tuned.run([__import__("repro").TransformRequest(**kwargs)])[0]
+            r_plain = plain.run([__import__("repro").TransformRequest(**kwargs)])[0]
+        scale = np.abs(r_plain.output).max()
+        assert np.allclose(r_tuned.output, r_plain.output,
+                           atol=1e-5 * scale, rtol=1e-4)
+
+    def test_corrupt_cache_file_service_still_serves(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text('{"entries": {"half-written')
+        rng = np.random.default_rng(4)
+        with TransformService(tune="model", tuning_cache_path=path) as service:
+            assert service.tuner.cache.load_error is not None
+            results = self._submit_batch(service, rng, rounds=2)
+            assert all(r.error is None for r in results)
+        # the rewrite repaired the file: a new service reads the entry back
+        with TransformService(tune="model", tuning_cache_path=path) as service2:
+            assert service2.tuner.cache.load_error is None
+            assert len(service2.tuner.cache) == 1
+            results = self._submit_batch(service2, rng, rounds=1)
+            assert all(r.error is None for r in results)
+            assert service2.tuner.stats.tunings_computed == 0  # disk hit only
+
+    def test_invalid_tune_value(self):
+        with pytest.raises(ValueError, match="tune"):
+            TransformService(tune="maybe")
+
+    def test_tuning_args_without_tune_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="tune"):
+            TransformService(tuning_cache_path=tmp_path / "tuning.json")
+        with pytest.raises(ValueError, match="tune"):
+            TransformService(tuner=Autotuner())
+        from repro.cluster.weak_scaling import (
+            run_weak_scaling,
+            run_weak_scaling_fleet,
+        )
+
+        with pytest.raises(ValueError, match="tune"):
+            run_weak_scaling_fleet(max_devices=1, tuner=Autotuner())
+        with pytest.raises(ValueError, match="tune"):
+            run_weak_scaling(1, (16, 16), 1000, 1e-6, max_ranks=1,
+                             tuner=Autotuner())
+
+    def test_retune_baseline_stays_pristine(self):
+        # After a pooled-style re-point into a different density bucket, the
+        # new tuning run must still report its speedup against the caller's
+        # original configuration, not the previously tuned one.
+        rng = np.random.default_rng(5)
+        tuner = Autotuner(max_sample=1 << 12)
+        with Plan(1, (48, 48), eps=1e-6, tune="model", tuner=tuner) as plan:
+            dense = rng.uniform(-np.pi, np.pi, (2, 40_000))
+            plan.set_pts(*dense)
+            sparse = rng.uniform(-np.pi, np.pi, (2, 300))
+            plan.set_pts(*sparse)
+            assert tuner.stats.tunings_computed == 2  # distinct buckets
+            # the second search's baseline is the AUTO default (SM for 2D
+            # single type-1), not the first point set's tuned config
+            fresh = Autotuner(max_sample=1 << 12)
+            reference = fresh.tune(
+                TuningProblem(1, (48, 48), 300, 1e-6, "single",
+                              coords=[sparse[0], sparse[1]]),
+            )
+            assert plan.tuned.baseline_score_s == pytest.approx(
+                reference.baseline_score_s, rel=1e-9
+            )
+
+
+# --------------------------------------------------------------------------- #
+# cluster / MTIP integration
+# --------------------------------------------------------------------------- #
+class TestStackIntegration:
+    def test_weak_scaling_fleet_with_tuning(self):
+        from repro.cluster.weak_scaling import run_weak_scaling_fleet
+
+        tuner = Autotuner(max_sample=1 << 11)
+        result = run_weak_scaling_fleet(
+            nufft_type=1, n_modes=(12, 12, 12), n_points_per_rank=2_000,
+            requests_per_device=2, max_devices=2, rounds=1,
+            tune="model", tuner=tuner,
+        )
+        assert len(result.points) == 2
+        assert all(p.throughput_rps > 0 for p in result.points)
+        assert tuner.stats.tunings_computed >= 1
+
+    def test_weak_scaling_model_with_tuning(self):
+        from repro.cluster.weak_scaling import run_weak_scaling
+
+        tuner = Autotuner(max_sample=1 << 11)
+        result = run_weak_scaling(1, (16, 16, 16), 20_000, 1e-6, max_ranks=2,
+                                  tune="model", tuner=tuner, max_sample=1 << 11)
+        assert len(result.points) == 2
+        assert result.points[0].total_s > 0
+
+    def test_mtip_with_tuning_matches_untuned(self):
+        from repro.mtip.pipeline import MTIPConfig, MTIPReconstruction
+
+        cfg = dict(n_modes=8, n_pix=6, n_images=4, n_candidates=6,
+                   phasing_iterations=5, seed=0)
+        with MTIPReconstruction(MTIPConfig(**cfg)) as plain:
+            _, rec_plain = plain.run_iteration(plain.true_modes.copy())
+        with MTIPReconstruction(MTIPConfig(tune="model", **cfg)) as tuned:
+            _, rec_tuned = tuned.run_iteration(tuned.true_modes.copy())
+        assert rec_tuned.density_error == pytest.approx(
+            rec_plain.density_error, rel=1e-6, abs=1e-9
+        )

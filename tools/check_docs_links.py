@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Link checker for the documentation pages.
+
+Scans ``README.md`` and every ``docs/*.md`` page for Markdown links and
+images, and fails (exit 1) if a *relative* target does not exist in the
+repository.  External (``http(s)://``, ``mailto:``) and pure-anchor
+(``#...``) targets are not fetched -- the gate guards the repo-internal
+cross-references (docs pages, benchmark scripts, source modules) that
+refactors silently break.
+
+Run from the repository root:
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown inline links and images: [text](target) / ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks (links inside them are illustrative, not navigable).
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def doc_pages():
+    pages = [os.path.join(REPO_ROOT, "README.md")]
+    pages.extend(sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))))
+    return [p for p in pages if os.path.exists(p)]
+
+
+def check_page(path):
+    """Return (n_links, broken-link descriptions) for one page."""
+    with open(path) as fh:
+        text = FENCE_RE.sub("", fh.read())
+    broken = []
+    n_links = 0
+    for match in LINK_RE.finditer(text):
+        n_links += 1
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(resolved):
+            broken.append(f"{os.path.relpath(path, REPO_ROOT)}: "
+                          f"broken link -> {target}")
+    return n_links, broken
+
+
+def main():
+    pages = doc_pages()
+    broken = []
+    n_links = 0
+    for page in pages:
+        page_links, page_broken = check_page(page)
+        n_links += page_links
+        broken.extend(page_broken)
+    print(f"checked {len(pages)} page(s), {n_links} link(s)")
+    if broken:
+        print("\nbroken links:")
+        for item in broken:
+            print(f"  - {item}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
