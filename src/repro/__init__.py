@@ -9,9 +9,12 @@ evaluation depends on: a simulated V100 device and cost model, CPU/GPU
 baseline libraries (FINUFFT, CUNFFT, gpuNUFFT analogues), a simulated
 multi-GPU MPI cluster, and the M-TIP X-ray reconstruction application.
 On top sit a serving layer (:class:`TransformService`: plan pooling, request
-coalescing, fleet sharding) and a cost-model-driven autotuner
+coalescing, fleet sharding), a cost-model-driven autotuner
 (:mod:`repro.tuning`) that searches spread method / bin geometry / ``Msub``
-per problem signature instead of the paper's fixed Remark-1/2 choices.
+per problem signature instead of the paper's fixed Remark-1/2 choices, and an
+inverse-NUFFT subsystem (:mod:`repro.solve`: adjoint operator pairs,
+Pipe--Menon density compensation, Toeplitz-accelerated CG) that solves
+``min_f ||A f - c||`` over MRI-style radial/spiral trajectories.
 
 See ``docs/ARCHITECTURE.md`` for the layer map and ``docs/BENCHMARKS.md``
 for the benchmark-to-paper-figure correspondence.
@@ -44,6 +47,17 @@ True
 
 from .backends import available_backends, get_backend, register_backend
 from .service import TransformRequest, TransformResult, TransformService
+from .solve import (
+    AdjointOperator,
+    ForwardOperator,
+    SolveRequest,
+    SolveResult,
+    ToeplitzNormalOperator,
+    cg_solve,
+    inverse_nufft,
+    pcg_solve,
+    pipe_menon_weights,
+)
 from .tuning import Autotuner, TuningCache, tune_opts
 from .core import (
     Opts,
@@ -79,6 +93,15 @@ __all__ = [
     "TransformService",
     "TransformRequest",
     "TransformResult",
+    "ForwardOperator",
+    "AdjointOperator",
+    "ToeplitzNormalOperator",
+    "cg_solve",
+    "pcg_solve",
+    "pipe_menon_weights",
+    "inverse_nufft",
+    "SolveRequest",
+    "SolveResult",
     "Autotuner",
     "TuningCache",
     "tune_opts",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .options import validate_isign
+
 __all__ = ["mode_indices", "nudft_type1", "nudft_type2", "nudft_type3"]
 
 
@@ -36,8 +38,8 @@ def _check_points(points, strengths=None):
     return points, strengths
 
 
-def nudft_type1(points, strengths, modes_shape):
-    """Exact type-1 sum ``f_k = sum_j c_j exp(-i k . x_j)`` (paper Eq. (1)).
+def nudft_type1(points, strengths, modes_shape, isign=-1):
+    """Exact type-1 sum ``f_k = sum_j c_j exp(isign i k . x_j)`` (paper Eq. (1)).
 
     Parameters
     ----------
@@ -47,6 +49,9 @@ def nudft_type1(points, strengths, modes_shape):
         Complex strengths ``c_j``.
     modes_shape : tuple of int
         Output mode counts ``(N1, ..., Nd)``.
+    isign : int
+        Exponent sign; ``-1`` (the default) is the paper's Eq. (1)
+        convention ``e^{-i k.x}``.
 
     Returns
     -------
@@ -54,6 +59,7 @@ def nudft_type1(points, strengths, modes_shape):
         Fourier coefficients with every axis ordered by ascending ``k``
         starting at ``-N//2``.
     """
+    isign = validate_isign(isign)
     points, strengths = _check_points(points, strengths)
     ndim = len(points)
     if len(modes_shape) != ndim:
@@ -63,9 +69,9 @@ def nudft_type1(points, strengths, modes_shape):
     # phase matrix for dim d has shape (N_d, M).
     result = strengths.astype(np.complex128)
     # Build the full phase product with successive outer products over modes.
-    # out[k1,...,kd] = sum_j c_j prod_d exp(-i k_d x_d[j])
+    # out[k1,...,kd] = sum_j c_j prod_d exp(isign i k_d x_d[j])
     phases = [
-        np.exp(-1j * np.outer(mode_indices(modes_shape[d]), points[d]))
+        np.exp(isign * 1j * np.outer(mode_indices(modes_shape[d]), points[d]))
         for d in range(ndim)
     ]
     if ndim == 1:
@@ -83,8 +89,8 @@ def nudft_type1(points, strengths, modes_shape):
     raise ValueError("only 1D, 2D and 3D transforms are supported")
 
 
-def nudft_type2(points, modes, ):
-    """Exact type-2 sum ``c_j = sum_k f_k exp(+i k . x_j)`` (paper Eq. (3)).
+def nudft_type2(points, modes, isign=1):
+    """Exact type-2 sum ``c_j = sum_k f_k exp(isign i k . x_j)`` (paper Eq. (3)).
 
     Parameters
     ----------
@@ -93,11 +99,15 @@ def nudft_type2(points, modes, ):
     modes : ndarray
         Fourier coefficients, shape ``(N1, ..., Nd)``, axes ordered by
         ascending ``k`` from ``-N//2``.
+    isign : int
+        Exponent sign; ``+1`` (the default) is the paper's Eq. (3)
+        convention ``e^{+i k.x}``.
 
     Returns
     -------
     ndarray, shape (M,)
     """
+    isign = validate_isign(isign)
     points, _ = _check_points(points)
     modes = np.asarray(modes, dtype=np.complex128)
     ndim = len(points)
@@ -105,7 +115,7 @@ def nudft_type2(points, modes, ):
         raise ValueError("modes dimensionality must match the number of coordinate arrays")
 
     phases = [
-        np.exp(1j * np.outer(points[d], mode_indices(modes.shape[d])))
+        np.exp(isign * 1j * np.outer(points[d], mode_indices(modes.shape[d])))
         for d in range(ndim)
     ]
     if ndim == 1:
@@ -125,8 +135,8 @@ def nudft_type2(points, modes, ):
     raise ValueError("only 1D, 2D and 3D transforms are supported")
 
 
-def nudft_type3(points, strengths, targets):
-    """Exact type-3 sum ``f_k = sum_j c_j exp(+i s_k . x_j)``.
+def nudft_type3(points, strengths, targets, isign=1):
+    """Exact type-3 sum ``f_k = sum_j c_j exp(isign i s_k . x_j)``.
 
     Parameters
     ----------
@@ -137,11 +147,14 @@ def nudft_type3(points, strengths, targets):
     targets : sequence of ndarray
         Per-dimension nonuniform target frequencies ``s_k``, each shape
         ``(N_k,)`` (any reals; not restricted to integers).
+    isign : int
+        Exponent sign (``+1`` by default).
 
     Returns
     -------
     ndarray, shape (N_k,)
     """
+    isign = validate_isign(isign)
     points, strengths = _check_points(points, strengths)
     targets, _ = _check_points(targets)
     if len(targets) != len(points):
@@ -149,4 +162,4 @@ def nudft_type3(points, strengths, targets):
     phase = np.zeros((targets[0].shape[0], points[0].shape[0]))
     for s, x in zip(targets, points):
         phase += np.outer(s, x)
-    return np.exp(1j * phase) @ strengths.astype(np.complex128)
+    return np.exp(isign * 1j * phase) @ strengths.astype(np.complex128)

@@ -18,7 +18,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SpreadMethod", "Precision", "Opts", "default_bin_shape"]
+__all__ = ["SpreadMethod", "Precision", "Opts", "default_bin_shape",
+           "validate_isign"]
+
+
+def validate_isign(value, allow_none=False):
+    """Normalize an exponent sign to ``+1``/``-1`` (or ``None`` if allowed).
+
+    The single validator behind ``Opts.isign``, the exact reference sums and
+    the solve-layer requests, so every entry point accepts and rejects the
+    same forms (ints, floats, numpy scalars equal to +-1).
+    """
+    if value is None:
+        if allow_none:
+            return None
+        raise ValueError("isign must be +1 or -1, got None")
+    value_f = float(value)
+    if value_f not in (1.0, -1.0):
+        suffix = " or None (per-type default)" if allow_none else ""
+        raise ValueError(f"isign must be +1, -1{suffix}, got {value!r}")
+    return int(value_f)
 
 
 class SpreadMethod(enum.Enum):
@@ -119,6 +138,13 @@ class Opts:
         Spreading strategy for type-1 (and ordering strategy for type-2).
     precision : Precision
         Single or double precision.
+    isign : int or None
+        Sign of the imaginary unit in the transform exponent (``+1`` or
+        ``-1``), as in the FINUFFT/cuFINUFFT API.  ``None`` (the default)
+        selects the paper's convention per transform type: ``-1`` for type 1
+        (Eq. (1) uses ``e^{-i k.x}``) and ``+1`` for types 2 and 3 (Eq. (3)).
+        Flipping the sign conjugates the exponentials only -- strengths and
+        coefficients are never implicitly conjugated.
     upsampfac : float
         Fine-grid upsampling factor sigma (only 2.0 supported).
     bin_shape : tuple of int or None
@@ -157,6 +183,7 @@ class Opts:
 
     method: SpreadMethod = SpreadMethod.AUTO
     precision: Precision = Precision.SINGLE
+    isign: int = None
     upsampfac: float = 2.0
     bin_shape: tuple = None
     max_subproblem_size: int = 1024
@@ -172,6 +199,7 @@ class Opts:
     def __post_init__(self):
         self.method = SpreadMethod.parse(self.method)
         self.precision = Precision.parse(self.precision)
+        self.isign = validate_isign(self.isign, allow_none=True)
         if not isinstance(self.backend, str) or not self.backend.strip():
             raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
         self.backend = self.backend.strip().lower()
@@ -225,11 +253,24 @@ class Opts:
         """Resolve the ``"auto"`` backend name (the profiled default)."""
         return "device_sim" if self.backend == "auto" else self.backend
 
+    def resolve_isign(self, nufft_type):
+        """Resolve ``isign=None`` into the paper's per-type sign convention.
+
+        Type 1 defaults to ``-1`` (Eq. (1): ``f_k = sum_j c_j e^{-i k.x_j}``),
+        types 2 and 3 to ``+1`` (Eq. (3) and the type-3 sum) -- exactly the
+        hard-coded signs of earlier revisions, so the default is
+        backward-compatible.  An explicit ``isign`` always wins.
+        """
+        if self.isign is not None:
+            return self.isign
+        return -1 if int(nufft_type) == 1 else 1
+
     def copy(self, **overrides):
         """Return a copy of the options with some fields replaced."""
         data = {
             "method": self.method,
             "precision": self.precision,
+            "isign": self.isign,
             "upsampfac": self.upsampfac,
             "bin_shape": self.bin_shape,
             "max_subproblem_size": self.max_subproblem_size,

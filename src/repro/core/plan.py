@@ -91,7 +91,9 @@ class Plan:
         :func:`repro.tuning.default_autotuner`, so plans share one cache.
     **opt_overrides
         Any :class:`~repro.core.options.Opts` field, e.g. ``method="SM"``,
-        ``precision="double"``, ``backend="cached"``, ``bin_shape=(16, 16, 4)``.
+        ``precision="double"``, ``backend="cached"``, ``bin_shape=(16, 16, 4)``
+        or ``isign=+1`` (exponent sign; defaults to the paper's per-type
+        convention, ``-1`` for type 1 and ``+1`` for types 2 and 3).
 
     A plan is a context manager: leaving the ``with`` block calls
     :meth:`destroy`, which is idempotent (a destroyed plan only refuses new
@@ -155,6 +157,9 @@ class Plan:
         # for, not whatever a previous set_pts tuned the plan to.
         self._pretune_opts = self.opts.copy()
         self.precision = self.opts.precision
+        #: Exponent sign ``+1``/``-1`` of this transform (``Opts.isign``,
+        #: defaulting to the paper's per-type convention).
+        self.isign = self.opts.resolve_isign(self.nufft_type)
         self.method = self.opts.resolve_method(self.nufft_type, self.ndim, self.precision)
         try:
             self.backend = get_backend(self.opts.resolve_backend())
@@ -535,9 +540,11 @@ class Plan:
             for d in range(self.ndim)
         ]
 
-        # Pre-phase e^{i cs.(x-cx)} folds the target centring into the
-        # strengths; the post factors carry the source centring e^{i s.cx} and
-        # the kernel deconvolution at the exact target frequencies.  The
+        # Pre-phase e^{isign i cs.(x-cx)} folds the target centring into the
+        # strengths; the post factors carry the source centring
+        # e^{isign i s.cx} and the kernel deconvolution at the exact target
+        # frequencies.  Every exponential in the composition (pre-phase,
+        # inner type-2, post-phase) carries the plan's ``isign``.  The
         # positivity check below is the last step that can reject the inputs,
         # so everything up to here runs on locals: a failure preserves the
         # previous point set (the all-or-nothing set_pts contract).
@@ -568,8 +575,8 @@ class Plan:
         self.n_targets = nk
         self.fine_shape = fine_shape
         self._grid_coords = grid_coords
-        self._t3_prephase = np.exp(1j * prephase)
-        self._t3_postphase = factors * np.exp(1j * postphase)
+        self._t3_prephase = np.exp(self.isign * 1j * prephase)
+        self._t3_postphase = factors * np.exp(self.isign * 1j * postphase)
 
         cplx = self.precision.complex_dtype
         self._point_alloc(self.fine_shape, cplx, "t3 fine grid")
@@ -583,8 +590,10 @@ class Plan:
         self._build_point_precompute()
 
         # Inner type-2 plan over the same backend: evaluates the fine grid's
-        # trigonometric sum at the rescaled target frequencies.
-        inner_opts = self.opts.copy(spread_only=False, bin_shape=None)
+        # trigonometric sum at the rescaled target frequencies, with the
+        # composition's exponent sign (not the type-2 default).
+        inner_opts = self.opts.copy(spread_only=False, bin_shape=None,
+                                    isign=self.isign)
         self._t3_inner = Plan(2, self.fine_shape, n_trans=self.n_trans,
                               eps=self.eps, opts=inner_opts, device=self.device)
         rescaled_targets = [
@@ -638,6 +647,9 @@ class Plan:
         pipeline = PipelineProfile()
         self._fft.pipeline = pipeline if backend.records_profiles else None
 
+        # The exponent sign enters the uniform pipeline only through the FFT
+        # direction (the kernel and the correction factors are real):
+        # ``e^{-i}`` is the forward FFT, ``e^{+i}`` the unnormalized inverse.
         stack = (data if batched else data[None]).astype(cplx, copy=False)
         if self.nufft_type == 3:
             output = self._execute_type3(stack, pipeline)
@@ -646,14 +658,20 @@ class Plan:
             if self.opts.spread_only:
                 output = fine
             else:
-                fine_hat = backend.fft_forward(self, fine, pipeline)
+                if self.isign < 0:
+                    fine_hat = backend.fft_forward(self, fine, pipeline)
+                else:
+                    fine_hat = backend.fft_inverse(self, fine, pipeline)
                 output = backend.deconvolve(self, fine_hat, pipeline)
         else:
             if self.opts.spread_only:
                 fine = stack.astype(np.complex128, copy=False)
             else:
                 fine = backend.precorrect(self, stack, pipeline)
-                fine = backend.fft_inverse(self, fine, pipeline)
+                if self.isign > 0:
+                    fine = backend.fft_inverse(self, fine, pipeline)
+                else:
+                    fine = backend.fft_forward(self, fine, pipeline)
             output = backend.interp(self, fine, pipeline)
 
         self._record_execute_transfers(data, output, pipeline)
@@ -803,7 +821,7 @@ class Plan:
         lines = [
             head,
             f"  precision: {self.precision.value}, method: {self.method.value}, "
-            f"backend: {self.backend.name}",
+            f"backend: {self.backend.name}, isign: {self.isign:+d}",
             f"  {self.kernel.describe()}",
             f"  fine grid: {self.fine_shape}, bins: {self.bin_shape}, "
             f"Msub={self.opts.max_subproblem_size}",

@@ -8,8 +8,16 @@ plan interface exists -- see the paper's discussion of "exec" timings), and
 would otherwise take from the paper's defaults.
 
 Every wrapper forwards unknown keyword arguments to :class:`Plan`, so
-``method=``, ``precision=``, ``backend=``, ``tune=`` and any other
-:class:`~repro.core.options.Opts` field work here too.
+``method=``, ``precision=``, ``backend=``, ``isign=``, ``tune=`` and any
+other :class:`~repro.core.options.Opts` field work here too.
+
+Precision inference (as in cuFINUFFT): when neither ``precision=`` nor
+``opts=`` is given, the wrappers infer the working precision from the input
+data dtype -- ``complex64``/``float32`` strengths or coefficients run in
+single precision and return ``complex64``, ``complex128``/``float64`` run in
+double and return ``complex128``.  Other dtypes (e.g. integers) keep the
+:class:`~repro.core.options.Opts` default.  An explicit ``precision=`` always
+wins.
 """
 
 from __future__ import annotations
@@ -17,6 +25,27 @@ from __future__ import annotations
 import numpy as np
 
 from .plan import Plan
+
+_SINGLE_DTYPES = (np.dtype(np.complex64), np.dtype(np.float32))
+_DOUBLE_DTYPES = (np.dtype(np.complex128), np.dtype(np.float64))
+
+
+def _infer_precision(kwargs, data):
+    """Fill ``kwargs['precision']`` from the data dtype unless explicit.
+
+    The explicit ``precision=`` kwarg (or a full ``opts=``) wins; otherwise
+    ``complex64``/``float32`` inputs select single precision and
+    ``complex128``/``float64`` double, so the output dtype matches the input
+    instead of silently up- or down-casting.
+    """
+    if "precision" in kwargs or "opts" in kwargs:
+        return kwargs
+    dtype = np.asarray(data).dtype
+    if dtype in _SINGLE_DTYPES:
+        kwargs["precision"] = "single"
+    elif dtype in _DOUBLE_DTYPES:
+        kwargs["precision"] = "double"
+    return kwargs
 
 __all__ = [
     "nufft1d1",
@@ -33,7 +62,7 @@ __all__ = [
 
 def _run_type1(coords, strengths, n_modes, eps, kwargs):
     strengths = np.asarray(strengths)
-    kwargs = dict(kwargs)
+    kwargs = _infer_precision(dict(kwargs), strengths)
     if strengths.ndim == 2:
         # Stacked (n_trans, M) strength block: one batched plan execution.
         kwargs.setdefault("n_trans", strengths.shape[0])
@@ -44,6 +73,7 @@ def _run_type1(coords, strengths, n_modes, eps, kwargs):
 
 def _run_type2(coords, modes, eps, kwargs):
     modes = np.asarray(modes)
+    kwargs = _infer_precision(dict(kwargs), modes)
     ndim = len(coords)
     n_modes = modes.shape[modes.ndim - ndim:] if modes.ndim == ndim + 1 else modes.shape
     with Plan(2, n_modes, eps=eps, **kwargs) as plan:
@@ -53,7 +83,7 @@ def _run_type2(coords, modes, eps, kwargs):
 
 def _run_type3(coords, strengths, targets, eps, kwargs):
     strengths = np.asarray(strengths)
-    kwargs = dict(kwargs)
+    kwargs = _infer_precision(dict(kwargs), strengths)
     if strengths.ndim == 2:
         kwargs.setdefault("n_trans", strengths.shape[0])
     ndim = len(coords)
@@ -78,7 +108,12 @@ def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
         Requested relative tolerance.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
-        ``precision=``, ``backend=``, ``tune=``, ...).
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).
+        ``isign=-1`` (the type-1 default) uses ``e^{-i k x}``; pass
+        ``isign=+1`` for the conjugate convention.  Without an explicit
+        ``precision=``, the working precision is inferred from ``c``'s dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -114,7 +149,13 @@ def nufft1d2(x, f, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -152,7 +193,13 @@ def nufft1d3(x, c, s, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -188,7 +235,10 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
         Requested relative tolerance.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
-        ``precision=``, ``tune=``, ...).
+        ``precision=``, ``isign=``, ``tune=``, ...).  ``isign=-1`` (the
+        type-1 default) uses ``e^{-i k.x}``; without an explicit
+        ``precision=``, precision is inferred from ``c``'s dtype and the
+        output dtype matches.
 
     Returns
     -------
@@ -224,7 +274,13 @@ def nufft2d2(x, y, f, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -261,7 +317,13 @@ def nufft2d3(x, y, c, s, t, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -295,7 +357,13 @@ def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -328,7 +396,13 @@ def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------
@@ -366,7 +440,13 @@ def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, **kwargs):
     eps : float
         Requested relative tolerance.
     **kwargs
-        Forwarded to :class:`~repro.core.plan.Plan`.
+        Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
+        ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
+        exponent sign defaults to ``+1`` for type-2/type-3 wrappers and
+        ``-1`` for type-1; pass ``isign=`` to flip it.  Without an explicit
+        ``precision=``, precision is inferred from the input data dtype
+        (``complex64``/``float32`` -> single, ``complex128``/``float64`` ->
+        double) and the output dtype matches.
 
     Returns
     -------

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.options import Precision, SpreadMethod
+from ..core.options import Opts, Precision, SpreadMethod
 
 __all__ = ["TransformRequest", "TransformResult", "plan_key_for"]
 
@@ -26,7 +26,7 @@ _COORD_FIELDS = ("x", "y", "z")
 _TARGET_FIELDS = ("s", "t", "u")
 
 
-def plan_key_for(nufft_type, n_modes, eps, precision, method, backend):
+def plan_key_for(nufft_type, n_modes, eps, precision, method, backend, isign=None):
     """The geometry key plans are pooled under.
 
     The single normalization point shared by :meth:`TransformRequest.plan_key`
@@ -34,7 +34,9 @@ def plan_key_for(nufft_type, n_modes, eps, precision, method, backend):
     produce byte-identical keys or the pool would silently stop sharing plans
     between coalesced requests and external lessees.  For type 3, ``n_modes``
     may be the dimension or a tuple whose length gives it (the ``Plan(3, .)``
-    convention).
+    convention).  ``isign`` is normalized through
+    :meth:`repro.core.options.Opts.resolve_isign`, so ``None`` and the
+    explicit per-type default produce the same key (they are the same plan).
     """
     nufft_type = int(nufft_type)
     if nufft_type == 3:
@@ -42,8 +44,10 @@ def plan_key_for(nufft_type, n_modes, eps, precision, method, backend):
         modes_key = ("ndim", ndim)
     else:
         modes_key = tuple(int(n) for n in np.atleast_1d(n_modes))
+    isign_key = Opts(isign=isign).resolve_isign(nufft_type)
     return (nufft_type, modes_key, float(eps), Precision.parse(precision).value,
-            SpreadMethod.parse(method).value, str(backend).strip().lower())
+            SpreadMethod.parse(method).value, str(backend).strip().lower(),
+            isign_key)
 
 
 def _as_point_array(value, name):
@@ -67,6 +71,10 @@ class TransformRequest:
     ``nufft_type``/``n_modes``/``eps``/``precision``/``method``/``backend``
         The plan geometry.  For type 3, ``n_modes`` is the dimension (or a
         tuple whose length gives it), as in ``Plan(3, ndim)``.
+    ``isign``
+        Exponent sign ``+1``/``-1``; ``None`` selects the per-type default
+        (``-1`` for type 1, ``+1`` for types 2 and 3).  Part of the plan
+        key: opposite-sign requests never share a pooled plan.
     ``data``
         One strength vector ``(M,)`` (types 1 and 3) or one mode-coefficient
         array of shape ``n_modes`` (type 2).
@@ -99,6 +107,7 @@ class TransformRequest:
     precision: str = "single"
     method: str = "auto"
     backend: str = "auto"
+    isign: int = None
     tag: object = None
     _points_digest: str = field(default=None, repr=False, compare=False)
 
@@ -123,6 +132,9 @@ class TransformRequest:
         self.precision = Precision.parse(self.precision).value
         self.method = SpreadMethod.parse(self.method).value
         self.backend = str(self.backend).strip().lower()
+        # Normalize isign eagerly (front-door validation): None resolves to
+        # the per-type convention, anything else must be +-1.
+        self.isign = Opts(isign=self.isign).resolve_isign(self.nufft_type)
 
         self._validate_points()
         self._validate_data()
@@ -200,7 +212,7 @@ class TransformRequest:
         """Geometry key: requests with equal keys can share one pooled plan."""
         modes = self.n_modes if self.nufft_type != 3 else self.ndim
         return plan_key_for(self.nufft_type, modes, self.eps, self.precision,
-                            self.method, self.backend)
+                            self.method, self.backend, self.isign)
 
     def points_key(self):
         """Digest of the nonuniform points (and type-3 targets).

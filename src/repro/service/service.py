@@ -12,6 +12,7 @@ import numpy as np
 
 from ..cluster.fleet import DeviceFleet
 from ..core.plan import Plan
+from ..gpu.costmodel import CostModel
 from .pool import PlanPool
 from .request import TransformRequest, TransformResult, plan_key_for
 
@@ -27,6 +28,9 @@ class ServiceStats:
     requests_failed: int = 0
     blocks_executed: int = 0
     shards_executed: int = 0
+    solves_served: int = 0
+    solve_shards: int = 0
+    solve_cg_iterations: int = 0
     plans_created: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -394,28 +398,157 @@ class TransformService:
         modes = req.ndim if req.nufft_type == 3 else req.n_modes
         return Plan(req.nufft_type, modes, n_trans=n_trans, eps=req.eps,
                     device=device, precision=req.precision, method=req.method,
-                    backend=req.backend, tune=self.tune, tuner=self.tuner)
+                    backend=req.backend, isign=req.isign,
+                    tune=self.tune, tuner=self.tuner)
+
+    # ------------------------------------------------------------------ #
+    # inverse-NUFFT solves (see repro.solve)
+    # ------------------------------------------------------------------ #
+    def solve(self, request=None, **kwargs):
+        """Serve one inverse-NUFFT :class:`~repro.solve.SolveRequest`.
+
+        Accepts a prebuilt request or its fields as keywords.  Every plan the
+        solve needs (density-compensation, adjoint right-hand side, Toeplitz
+        PSF or explicit forward/adjoint pair) is leased from the service's
+        pool, so repeated solves over the same trajectory geometry skip all
+        planning.  A batched request (``data`` of shape ``(n_rhs, M)``) is
+        sharded across the device fleet -- each shard leases plans pinned to
+        its device and runs its rows' CG independently -- and the shards'
+        modelled costs are enqueued on the per-device stream timelines
+        exactly like transform blocks, so :meth:`makespan` /
+        :meth:`utilization` cover solves too.
+
+        Returns
+        -------
+        SolveResult
+            Merged over shards, row order preserved; ``device_ids`` lists
+            the devices the shards ran on.
+        """
+        from ..solve import SolveRequest, SolveResult, execute_solve
+
+        self._require_open()
+        if request is None:
+            request = SolveRequest(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a SolveRequest or keyword fields, not both")
+        if not isinstance(request, SolveRequest):
+            raise TypeError(f"expected a SolveRequest, got {type(request).__name__}")
+
+        n_shards = min(self.fleet.n_devices, request.n_rhs)
+        if n_shards <= 1:
+            result = execute_solve(request, service=self,
+                                   device=self.fleet.least_loaded())
+            self._enqueue_solve_timeline(result)
+            self.stats.solves_served += request.n_rhs
+            self.stats.solve_shards += 1
+            self.stats.solve_cg_iterations += int(sum(result.n_iter))
+            return result
+
+        ranked = self.fleet.ranked()
+        # Resolve Pipe-Menon weights once for the whole request -- every
+        # shard shares the trajectory, so per-shard recomputation would just
+        # repeat the identical DCF fixed point.  (The Toeplitz PSF *is*
+        # rebuilt per shard: each shard's kernel lives on its own device.)
+        weights = request.weights
+        if isinstance(weights, str):
+            from ..solve import pipe_menon_weights
+
+            weights = pipe_menon_weights(
+                request.points(), request.n_modes, n_iter=request.dcf_iters,
+                eps=request.eps, isign=request.isign, service=self,
+                device=ranked[0], backend=request.backend,
+            )
+        rows = request.rhs_rows()
+        bounds = np.array_split(np.arange(request.n_rhs), n_shards)
+        shard_results = []
+        for i, idx in enumerate(bounds):
+            if len(idx) == 0:
+                continue
+            shard_req = request.replace_data(rows[idx], weights=weights)
+            result = execute_solve(shard_req, service=self,
+                                   device=ranked[i % len(ranked)])
+            self._enqueue_solve_timeline(result)
+            shard_results.append(result)
+            self.stats.solve_shards += 1
+            self.stats.solve_cg_iterations += int(sum(result.n_iter))
+        self.stats.solves_served += request.n_rhs
+        return self._merge_solve_results(request, shard_results)
+
+    def _enqueue_solve_timeline(self, result):
+        """Model one solve shard on its device's streams (like a block)."""
+        from ..gpu.profiler import TransferRecord
+
+        device_id = result.device_ids[0] if result.device_ids else 0
+        device = self.fleet.device(device_id)
+        stream = self.fleet.next_stream(device)
+        self._host_frontier += self.dispatch_latency_s
+        stream.wait_until(self._host_frontier)
+
+        cm = CostModel(spec=device.spec)
+        modelled = result.modelled_seconds
+        h2d = cm.transfer_time(TransferRecord("h2d", modelled["h2d_bytes"]))
+        d2h = cm.transfer_time(TransferRecord("d2h", modelled["d2h_bytes"]))
+        if self.shared_host_link:
+            stream.wait_until(self._host_link_frontier)
+        upload_done = stream.enqueue("h2d", h2d, "trajectory + samples upload")
+        if self.shared_host_link:
+            self._host_link_frontier = upload_done.time
+        stream.enqueue("exec", modelled["exec"], "solve kernels")
+        stream.enqueue("d2h", d2h, "image download")
+        for engine, seconds in (("h2d", h2d), ("exec", modelled["exec"]),
+                                ("d2h", d2h)):
+            self.stats.modelled_engine_seconds[engine] += seconds
+
+    @staticmethod
+    def _merge_solve_results(request, shard_results):
+        from ..solve import SolveResult
+
+        merged = SolveResult(
+            x=np.concatenate([r.x.reshape((-1,) + request.n_modes)
+                              for r in shard_results]),
+            residual_norms=[h for r in shard_results for h in r.residual_norms],
+            n_iter=[n for r in shard_results for n in r.n_iter],
+            converged=[c for r in shard_results for c in r.converged],
+            weights=shard_results[0].weights,
+            normal=request.normal,
+            device_ids=[d for r in shard_results for d in r.device_ids],
+            tag=request.tag,
+        )
+        total = {"psf_build": 0.0, "rhs_build": 0.0, "per_iteration": 0.0,
+                 "iterations": 0, "exec": 0.0, "h2d_bytes": 0, "d2h_bytes": 0}
+        for r in shard_results:
+            for key in total:
+                total[key] += r.modelled_seconds[key]
+        total["per_iteration"] = shard_results[0].modelled_seconds["per_iteration"]
+        merged.modelled_seconds = total
+        return merged
 
     # ------------------------------------------------------------------ #
     # external plan leasing (application integration, e.g. M-TIP)
     # ------------------------------------------------------------------ #
     def lease_plan(self, nufft_type, n_modes, n_trans=1, eps=1e-6,
-                   precision="double", method="auto", backend="auto"):
+                   precision="double", method="auto", backend="auto",
+                   isign=None, device=None):
         """Lease a plan from the pool (or create one on the emptiest device).
 
         The application drives ``set_pts`` / ``execute`` itself and must give
         the plan back with :meth:`release_plan`; across leases the plan's
         geometry planning is amortized exactly as for coalesced requests.
+        ``isign`` selects the exponent sign (``None`` keeps the per-type
+        default) and is part of the pool key.  ``device`` pins the lease to
+        one fleet device (used by sharded solves); by default the
+        least-loaded device wins.
         """
         self._require_open()
-        plan_key = plan_key_for(nufft_type, n_modes, eps, precision, method, backend)
+        plan_key = plan_key_for(nufft_type, n_modes, eps, precision, method,
+                                backend, isign)
         entry, created = self._acquire_plan(
             plan_key, int(n_trans), None,
             lambda device: Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps,
                                 device=device, precision=precision,
-                                method=method, backend=backend,
+                                method=method, backend=backend, isign=isign,
                                 tune=self.tune, tuner=self.tuner),
-            allow_repoint=True,
+            allow_repoint=True, device=device,
         )
         if created:
             self.stats.lease_misses += 1

@@ -5,7 +5,9 @@ from .distributions import (
     make_distribution,
     mixture_points,
     problem_density,
+    radial_points,
     rand_points,
+    spiral_points,
     strengths,
 )
 from .problems import ProblemSpec, fig2_problems, fig4_problems, fig6_problems, table1_problems
@@ -14,6 +16,8 @@ __all__ = [
     "rand_points",
     "cluster_points",
     "mixture_points",
+    "radial_points",
+    "spiral_points",
     "make_distribution",
     "strengths",
     "problem_density",

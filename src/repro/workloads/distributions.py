@@ -12,6 +12,12 @@ Two extreme cases drive every benchmark:
 ``mixture`` adds a less extreme distribution (a blend of uniform background
 and Gaussian clumps) mentioned in the paper's "less extreme nonuniform point
 distributions" remark, used by the ablation benchmarks.
+
+The MRI-style *trajectories* (``radial_points``, ``spiral_points``) are the
+sampling patterns of the inverse-NUFFT workload (:mod:`repro.solve`): k-space
+locations along radial spokes or golden-angle Archimedean spiral interleaves,
+strongly oversampled near the origin -- exactly the density inhomogeneity the
+Pipe--Menon weights compensate.
 """
 
 from __future__ import annotations
@@ -22,12 +28,18 @@ __all__ = [
     "rand_points",
     "cluster_points",
     "mixture_points",
+    "radial_points",
+    "spiral_points",
     "make_distribution",
     "strengths",
     "problem_density",
 ]
 
 TWO_PI = 2.0 * np.pi
+
+#: Golden-angle increment (radians) between successive spokes/interleaves:
+#: ``pi * (3 - sqrt(5))``, the standard golden-angle MRI ordering.
+GOLDEN_ANGLE = np.pi * (3.0 - np.sqrt(5.0))
 
 
 def _check_m(n_points):
@@ -98,8 +110,108 @@ def mixture_points(n_points, ndim, rng=None, cluster_fraction=0.5, n_clumps=16,
     return [c[perm] for c in coords]
 
 
+def radial_points(n_points, n_spokes=None, rng=None, golden_angle=False):
+    """2D radial k-space trajectory: samples along spokes through the origin.
+
+    Each spoke is a diameter of the k-space disc of radius ``pi``: radii run
+    uniformly over ``[-pi, pi)`` (``n_points // n_spokes`` samples per spoke,
+    the centre oversampled ``n_spokes``-fold relative to the edge -- the
+    ``1/|k|`` density that makes unweighted gridding blur).
+
+    Parameters
+    ----------
+    n_points : int
+        Total number of k-space samples (split evenly across spokes; the
+        remainder goes to the first spokes).
+    n_spokes : int, optional
+        Number of spokes; defaults to ``ceil(sqrt(n_points))``, which
+        balances radial and angular resolution.
+    rng : seed or Generator, optional
+        Unused (the trajectory is deterministic); accepted for signature
+        compatibility with the random distributions.
+    golden_angle : bool
+        Increment spoke angles by the golden angle instead of uniformly over
+        ``[0, pi)`` (golden-angle radial MRI ordering).
+
+    Returns
+    -------
+    list of ndarray
+        ``[kx, ky]``, each of shape ``(n_points,)``, inside ``[-pi, pi)^2``.
+    """
+    n_points = _check_m(n_points)
+    if n_spokes is None:
+        n_spokes = max(1, int(np.ceil(np.sqrt(n_points))))
+    n_spokes = min(int(n_spokes), n_points)
+    if n_spokes < 1:
+        raise ValueError(f"n_spokes must be >= 1, got {n_spokes}")
+    if golden_angle:
+        angles = np.mod(GOLDEN_ANGLE * np.arange(n_spokes), np.pi)
+    else:
+        angles = np.linspace(0.0, np.pi, n_spokes, endpoint=False)
+    counts = np.full(n_spokes, n_points // n_spokes)
+    counts[: n_points - counts.sum()] += 1
+    kx, ky = [], []
+    for theta, m in zip(angles, counts):
+        if m == 0:
+            continue
+        radii = np.linspace(-np.pi, np.pi, int(m), endpoint=False)
+        kx.append(radii * np.cos(theta))
+        ky.append(radii * np.sin(theta))
+    return [np.concatenate(kx), np.concatenate(ky)]
+
+
+def spiral_points(n_points, n_interleaves=16, n_turns=8.0, rng=None):
+    """2D golden-angle Archimedean spiral trajectory.
+
+    Each interleaf is an Archimedean spiral ``r(t) = pi * t``,
+    ``theta(t) = 2 pi n_turns t`` for ``t in [0, 1)``, rotated by the golden
+    angle times its index; samples are uniform in ``t``, so the centre of
+    k-space is sampled far more densely than the edge (the usual spiral
+    density).
+
+    Parameters
+    ----------
+    n_points : int
+        Total number of samples (split across interleaves, remainder to the
+        first ones).
+    n_interleaves : int
+        Number of rotated spiral arms.
+    n_turns : float
+        Revolutions per interleaf.
+    rng : seed or Generator, optional
+        Unused (deterministic trajectory); accepted for signature
+        compatibility.
+
+    Returns
+    -------
+    list of ndarray
+        ``[kx, ky]``, each of shape ``(n_points,)``, inside ``[-pi, pi)^2``.
+    """
+    n_points = _check_m(n_points)
+    n_interleaves = min(max(1, int(n_interleaves)), n_points)
+    if float(n_turns) <= 0:
+        raise ValueError(f"n_turns must be positive, got {n_turns}")
+    counts = np.full(n_interleaves, n_points // n_interleaves)
+    counts[: n_points - counts.sum()] += 1
+    kx, ky = [], []
+    for i, m in enumerate(counts):
+        if m == 0:
+            continue
+        t = np.linspace(0.0, 1.0, int(m), endpoint=False)
+        radius = np.pi * t
+        theta = 2.0 * np.pi * float(n_turns) * t + GOLDEN_ANGLE * i
+        kx.append(radius * np.cos(theta))
+        ky.append(radius * np.sin(theta))
+    return [np.concatenate(kx), np.concatenate(ky)]
+
+
 def make_distribution(name, n_points, ndim, fine_shape=None, rng=None, **kwargs):
-    """Dispatch by distribution name: ``"rand"``, ``"cluster"`` or ``"mixture"``."""
+    """Dispatch by distribution name.
+
+    ``"rand"``, ``"cluster"`` and ``"mixture"`` are the paper's benchmark
+    distributions (any dimension); ``"radial"`` and ``"spiral"`` are the 2D
+    MRI trajectories of the inverse-NUFFT workload.
+    """
     key = str(name).lower()
     if key == "rand":
         return rand_points(n_points, ndim, rng)
@@ -109,7 +221,15 @@ def make_distribution(name, n_points, ndim, fine_shape=None, rng=None, **kwargs)
         return cluster_points(n_points, fine_shape, rng, **kwargs)
     if key == "mixture":
         return mixture_points(n_points, ndim, rng, **kwargs)
-    raise ValueError(f"unknown distribution {name!r}; expected rand, cluster or mixture")
+    if key in ("radial", "spiral"):
+        if ndim != 2:
+            raise ValueError(f"the {key} trajectory is 2D, got ndim={ndim}")
+        maker = radial_points if key == "radial" else spiral_points
+        return maker(n_points, rng=rng, **kwargs)
+    raise ValueError(
+        f"unknown distribution {name!r}; expected rand, cluster, mixture, "
+        "radial or spiral"
+    )
 
 
 def strengths(n_points, rng=None, dtype=np.complex128):

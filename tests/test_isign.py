@@ -1,0 +1,233 @@
+"""isign (exponent-sign) and precision-inference coverage.
+
+The exponent sign used to be hard-coded (type-1 ``-i``, type-2 ``+i``),
+silently diverging from the FINUFFT/cuFINUFFT API; these tests pin the
+``isign=`` threading through ``Opts``/``Plan``/the simple wrappers against
+the exact reference sums for both signs in every dimension and transform
+type, and the simple-API precision inference from the input dtype.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Opts,
+    Plan,
+    nudft_type1,
+    nudft_type2,
+    nudft_type3,
+    nufft1d1,
+    nufft2d1,
+    nufft2d2,
+    nufft2d3,
+    relative_l2_error,
+)
+
+DIMS = {
+    1: (26,),
+    2: (14, 16),
+    3: (8, 10, 6),
+}
+
+
+def _points(rng, ndim, m=300):
+    return [rng.uniform(-np.pi, np.pi, m) for _ in range(ndim)]
+
+
+class TestExactIsign:
+    """The reference sums accept both signs and conjugate correctly."""
+
+    def test_type1_signs_are_conjugate_for_real_strengths(self, rng):
+        pts = _points(rng, 2)
+        c = rng.standard_normal(300).astype(np.complex128)
+        plus = nudft_type1(pts, c, (12, 12), isign=+1)
+        minus = nudft_type1(pts, c, (12, 12), isign=-1)
+        # For real strengths, flipping the sign conjugates the output.
+        assert np.allclose(plus, np.conj(minus))
+
+    def test_type2_default_matches_plus(self, rng):
+        pts = _points(rng, 1)
+        modes = rng.standard_normal(18) + 1j * rng.standard_normal(18)
+        assert np.array_equal(nudft_type2(pts, modes),
+                              nudft_type2(pts, modes, isign=+1))
+
+    def test_type3_sign_flip(self, rng):
+        pts = _points(rng, 1)
+        c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        s = rng.uniform(-30, 30, 100)
+        plus = nudft_type3(pts, c, [s], isign=+1)
+        minus = nudft_type3(pts, c, [s], isign=-1)
+        assert np.allclose(minus, nudft_type3([-p for p in pts], c, [s], isign=+1))
+        assert not np.allclose(plus, minus)
+
+    @pytest.mark.parametrize("bad", (0, 2, -3, 0.5, "plus"))
+    def test_invalid_isign_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            nudft_type1([np.zeros(3)], np.ones(3, dtype=complex), (4,), isign=bad)
+
+
+class TestPlanIsign:
+    """Plan execution matches the exact sums for both signs, all dims/types."""
+
+    @pytest.mark.parametrize("ndim", (1, 2, 3))
+    @pytest.mark.parametrize("isign", (-1, +1))
+    def test_type1_matches_exact(self, rng, ndim, isign):
+        modes = DIMS[ndim]
+        pts = _points(rng, ndim)
+        c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        with Plan(1, modes, eps=1e-9, precision="double", isign=isign) as plan:
+            plan.set_pts(*pts)
+            out = plan.execute(c)
+        ref = nudft_type1(pts, c, modes, isign=isign)
+        assert relative_l2_error(out, ref) < 1e-6
+
+    @pytest.mark.parametrize("ndim", (1, 2, 3))
+    @pytest.mark.parametrize("isign", (-1, +1))
+    def test_type2_matches_exact(self, rng, ndim, isign):
+        modes = DIMS[ndim]
+        pts = _points(rng, ndim)
+        f = rng.standard_normal(modes) + 1j * rng.standard_normal(modes)
+        with Plan(2, modes, eps=1e-9, precision="double", isign=isign) as plan:
+            plan.set_pts(*pts)
+            out = plan.execute(f)
+        ref = nudft_type2(pts, f, isign=isign)
+        assert relative_l2_error(out, ref) < 1e-6
+
+    @pytest.mark.parametrize("ndim", (1, 2, 3))
+    @pytest.mark.parametrize("isign", (-1, +1))
+    def test_type3_matches_exact(self, rng, ndim, isign):
+        src = [rng.uniform(-1.0, 1.0, 300) for _ in range(ndim)]
+        tgt = [rng.uniform(-20.0, 20.0, 120) for _ in range(ndim)]
+        c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        with Plan(3, ndim, eps=1e-9, precision="double", isign=isign) as plan:
+            plan.set_pts(*src, **dict(zip("stu", tgt)))
+            out = plan.execute(c)
+        ref = nudft_type3(src, c, tgt, isign=isign)
+        assert relative_l2_error(out, ref) < 1e-6
+
+    def test_default_isign_unchanged(self, rng):
+        """The per-type defaults reproduce the pre-isign behaviour exactly."""
+        pts = _points(rng, 2)
+        c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        with Plan(1, (12, 12), eps=1e-9, precision="double") as plan:
+            assert plan.isign == -1
+            default = plan.set_pts(*pts).execute(c)
+        with Plan(1, (12, 12), eps=1e-9, precision="double", isign=-1) as plan:
+            explicit = plan.set_pts(*pts).execute(c)
+        assert np.array_equal(default, explicit)
+        with Plan(2, (12, 12), eps=1e-9, precision="double") as plan:
+            assert plan.isign == +1
+        with Plan(3, 2, eps=1e-9, precision="double") as plan:
+            assert plan.isign == +1
+
+    def test_opts_resolve_isign(self):
+        assert Opts().resolve_isign(1) == -1
+        assert Opts().resolve_isign(2) == 1
+        assert Opts().resolve_isign(3) == 1
+        assert Opts(isign=-1).resolve_isign(2) == -1
+        assert Opts(isign=1.0).resolve_isign(1) == 1
+        with pytest.raises(ValueError):
+            Opts(isign=2)
+        with pytest.raises(ValueError):
+            Opts(isign=0)
+
+    def test_simple_api_isign(self, rng):
+        pts = _points(rng, 2)
+        c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        out = nufft2d1(*pts, c, (10, 10), eps=1e-9, precision="double", isign=+1)
+        ref = nudft_type1(pts, c, (10, 10), isign=+1)
+        assert relative_l2_error(out, ref) < 1e-6
+        s, t = rng.uniform(-15, 15, (2, 80))
+        src = [rng.uniform(-1, 1, 300) for _ in range(2)]
+        out3 = nufft2d3(*src, c, s, t, eps=1e-9, precision="double", isign=-1)
+        ref3 = nudft_type3(src, c, [s, t], isign=-1)
+        assert relative_l2_error(out3, ref3) < 1e-6
+
+
+class TestServiceIsign:
+    """isign is part of the pool key and request validation."""
+
+    def test_requests_with_opposite_signs_do_not_share_plans(self, rng):
+        from repro import TransformRequest, TransformService
+
+        x, y = _points(rng, 2)
+        c = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        with TransformService(n_devices=1) as svc:
+            reqs = [
+                TransformRequest(nufft_type=1, n_modes=(10, 10), data=c,
+                                 x=x, y=y, eps=1e-9, precision="double",
+                                 isign=isign)
+                for isign in (-1, +1)
+            ]
+            assert reqs[0].plan_key() != reqs[1].plan_key()
+            results = svc.run(reqs)
+            assert all(r.error is None for r in results)
+            assert relative_l2_error(
+                results[1].output, nudft_type1([x, y], c, (10, 10), isign=+1)
+            ) < 1e-6
+            # Default-sign and explicit-default-sign requests share a key.
+            default = TransformRequest(nufft_type=1, n_modes=(10, 10), data=c,
+                                       x=x, y=y, eps=1e-9, precision="double")
+            assert default.plan_key() == reqs[0].plan_key()
+
+    def test_invalid_isign_rejected_at_front_door(self, rng):
+        from repro import TransformRequest
+
+        with pytest.raises(ValueError):
+            TransformRequest(nufft_type=1, n_modes=(8, 8),
+                             data=np.ones(4, dtype=complex),
+                             x=np.zeros(4), y=np.zeros(4), isign=3)
+
+
+class TestPrecisionInference:
+    """Simple wrappers infer precision from the input dtype (cuFINUFFT style)."""
+
+    def test_complex64_runs_single(self, rng):
+        x = rng.uniform(-np.pi, np.pi, 200)
+        c = (rng.standard_normal(200) + 1j * rng.standard_normal(200)
+             ).astype(np.complex64)
+        out = nufft1d1(x, c, 32)
+        assert out.dtype == np.complex64
+
+    def test_complex128_runs_double(self, rng):
+        x = rng.uniform(-np.pi, np.pi, 200)
+        c = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        out = nufft1d1(x, c, 32)
+        assert out.dtype == np.complex128
+        # ... and actually delivers double-precision accuracy at tight eps.
+        err = relative_l2_error(nufft1d1(x, c, 32, eps=1e-12),
+                                nudft_type1([x], c, (32,)))
+        assert err < 1e-10
+
+    def test_float32_real_strengths_run_single(self, rng):
+        x = rng.uniform(-np.pi, np.pi, 200)
+        c = rng.standard_normal(200).astype(np.float32)
+        assert nufft1d1(x, c, 32).dtype == np.complex64
+
+    def test_explicit_precision_wins(self, rng):
+        x = rng.uniform(-np.pi, np.pi, 200)
+        c = (rng.standard_normal(200) + 1j * rng.standard_normal(200)
+             ).astype(np.complex64)
+        assert nufft1d1(x, c, 32, precision="double").dtype == np.complex128
+        c128 = c.astype(np.complex128)
+        assert nufft1d1(x, c128, 32, precision="single").dtype == np.complex64
+
+    def test_type2_infers_from_modes(self, rng):
+        x, y = rng.uniform(-np.pi, np.pi, (2, 150))
+        f64 = (rng.standard_normal((12, 12))
+               + 1j * rng.standard_normal((12, 12))).astype(np.complex64)
+        assert nufft2d2(x, y, f64).dtype == np.complex64
+        assert nufft2d2(x, y, f64.astype(np.complex128)).dtype == np.complex128
+
+    def test_type3_infers_from_strengths(self, rng):
+        src = [rng.uniform(-1, 1, 150) for _ in range(2)]
+        s, t = rng.uniform(-10, 10, (2, 60))
+        c = (rng.standard_normal(150) + 1j * rng.standard_normal(150)
+             ).astype(np.complex64)
+        assert nufft2d3(*src, c, s, t).dtype == np.complex64
+
+    def test_integer_strengths_keep_default(self, rng):
+        x = rng.uniform(-np.pi, np.pi, 100)
+        c = np.ones(100, dtype=np.int64)
+        # Unrecognized dtypes fall back to the Opts default (single).
+        assert nufft1d1(x, c, 16).dtype == np.complex64

@@ -29,6 +29,7 @@ AUDITED = {
     "repro": {"require_examples": False},
     "repro.core.simple": {"require_examples": True},
     "repro.service": {"require_examples": False},
+    "repro.solve": {"require_examples": False},
     "repro.tuning": {"require_examples": False},
 }
 
