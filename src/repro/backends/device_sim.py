@@ -66,15 +66,22 @@ class DeviceSimBackend(ExecutionBackend):
         return get_backend("cached" if plan._stencil is not None else "reference")
 
     @staticmethod
-    def _add_fused_stage(pipeline, profiles, n_trans):
+    def _add_fused_stage(plan, pipeline, profiles, n_trans):
         """Record one fused launch per stage kernel.
 
         The batched engine processes all ``n_trans`` transforms of a stage in
         a single pass, so the *work* scales with the batch but the launch
         does not -- matching cuFINUFFT's batched kernels.  (``n_trans=1``
         records the profiles unchanged.)
+
+        Each launch first passes the device's fault gate
+        (:meth:`~repro.gpu.device.Device.check_launch`): an attached
+        :class:`~repro.faults.FaultInjector` may raise a transient kernel
+        failure, an injected OOM or a device-lost error here -- the stage
+        boundary where a real ``cudaGetLastError`` would report them.
         """
         for prof in profiles:
+            plan.device.check_launch(prof.name)
             pipeline.add_kernel(prof.scaled(n_trans), phase="exec")
 
     # ------------------------------------------------------------------ #
@@ -87,14 +94,17 @@ class DeviceSimBackend(ExecutionBackend):
             plan.method, plan._sort, plan.kernel, plan.precision,
             plan.opts.threads_per_block, plan.device.spec, subproblems=subproblems,
         )
-        self._add_fused_stage(pipeline, profiles, strengths.shape[0])
+        self._add_fused_stage(plan, pipeline, profiles, strengths.shape[0])
         return fine
 
     def fft_forward(self, plan, fine, pipeline):
-        # DeviceFFT records one fused batched-cufft profile by itself.
+        # DeviceFFT records one fused batched-cufft profile by itself; the
+        # launch still passes the device's fault gate like every stage.
+        plan.device.check_launch("cufft_forward")
         return self._numerics(plan).fft_forward(plan, fine, pipeline)
 
     def fft_inverse(self, plan, fine, pipeline):
+        plan.device.check_launch("cufft_inverse")
         return self._numerics(plan).fft_inverse(plan, fine, pipeline)
 
     def deconvolve(self, plan, fine_hat, pipeline):
@@ -102,7 +112,7 @@ class DeviceSimBackend(ExecutionBackend):
         profile = deconvolve_kernel_profile(
             plan.n_modes, plan.precision.complex_itemsize
         )
-        self._add_fused_stage(pipeline, [profile], fine_hat.shape[0])
+        self._add_fused_stage(plan, pipeline, [profile], fine_hat.shape[0])
         return modes
 
     def precorrect(self, plan, modes, pipeline):
@@ -110,7 +120,7 @@ class DeviceSimBackend(ExecutionBackend):
         profile = deconvolve_kernel_profile(
             plan.n_modes, plan.precision.complex_itemsize, name="precorrect"
         )
-        self._add_fused_stage(pipeline, [profile], modes.shape[0])
+        self._add_fused_stage(plan, pipeline, [profile], modes.shape[0])
         return fine
 
     def interp(self, plan, fine, pipeline):
@@ -119,5 +129,5 @@ class DeviceSimBackend(ExecutionBackend):
             plan.interp_method, plan._sort, plan.kernel, plan.precision,
             plan.opts.threads_per_block, plan.device.spec,
         )
-        self._add_fused_stage(pipeline, profiles, fine.shape[0])
+        self._add_fused_stage(plan, pipeline, profiles, fine.shape[0])
         return result

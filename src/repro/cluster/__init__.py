@@ -14,7 +14,7 @@ environment in-process:
 """
 
 from .comm import SimComm, CommCostModel
-from .fleet import DeviceFleet
+from .fleet import BreakerState, DeviceFleet, DeviceHealth
 from .node import Node, CORI_GPU_NODE, SUMMIT_NODE
 from .weak_scaling import (
     FleetScalingPoint,
@@ -28,6 +28,8 @@ __all__ = [
     "SimComm",
     "CommCostModel",
     "DeviceFleet",
+    "DeviceHealth",
+    "BreakerState",
     "Node",
     "CORI_GPU_NODE",
     "SUMMIT_NODE",

@@ -1,0 +1,56 @@
+"""Fault injection and the failure taxonomy of the resilience layer.
+
+This package is the *chaos* substrate under the fault-tolerant serving
+stack: a deterministic, seedable :class:`FaultInjector` (seeded from
+``REPRO_FAULT_SEED``) with pluggable :class:`FaultSpec` behaviours --
+transient kernel failures, device OOM, stuck/slow launches and hard device
+death -- hooked into the simulated GPU exactly where real CUDA errors would
+surface (stream enqueue in :mod:`repro.gpu.device`, stage execution in the
+``device_sim`` backend).
+
+On top of it, :class:`~repro.cluster.DeviceFleet` tracks per-device health
+(consecutive-failure circuit breakers, draining/eviction, health-aware
+placement) and :class:`~repro.service.TransformService` retries, enforces
+deadlines, sheds load and degrades gracefully; see
+``docs/ARCHITECTURE.md`` ("Resilience layer") for the full fault flow.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro.faults import FaultInjector, FaultSpec
+>>> from repro.service import TransformService, RetryPolicy
+>>> inj = FaultInjector([FaultSpec("transient", rate=0.1)], seed=1234)
+>>> service = TransformService(n_devices=2, fault_injector=inj,
+...                            retry=RetryPolicy(max_attempts=5))
+>>> x = np.linspace(-3, 3, 50)
+>>> _ = service.submit(nufft_type=1, n_modes=(16,),
+...                    data=np.ones(50, complex), x=x)
+>>> [r.error for r in service.flush()]   # retries absorb injected faults
+[None]
+>>> service.close()
+"""
+
+from .injector import (
+    FAULT_KINDS,
+    DeviceFaultError,
+    DeviceLostError,
+    DeviceOOMError,
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    TransientKernelError,
+    fault_seed_from_env,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultStats",
+    "FaultInjector",
+    "DeviceFaultError",
+    "TransientKernelError",
+    "DeviceOOMError",
+    "DeviceLostError",
+    "fault_seed_from_env",
+]

@@ -1,0 +1,330 @@
+"""Deterministic fault injection for the simulated GPU substrate.
+
+Long-running many-GPU NUFFT pipelines (the paper's MTIP deployment, and the
+ROADMAP's serving north star) must survive flaky hardware: transient kernel
+launch failures, device OOMs, stuck/slow launches and outright device death.
+The :class:`FaultInjector` reproduces those failure modes *deterministically*
+on the simulated substrate, so resilience behaviour (retries, circuit
+breakers, degraded serving) can be pinned by tests and benchmarked by
+``benchmarks/bench_chaos.py``.
+
+Design
+------
+
+* **Seedable and reproducible.**  Every fault decision is a pure function of
+  ``(seed, device_id, event_index, spec_index)`` hashed through ``blake2b``
+  -- no global RNG state, no ordering sensitivity beyond the submission order
+  itself.  Two runs with the same seed and the same request sequence inject
+  the *identical* fault schedule.  The seed defaults to the
+  ``REPRO_FAULT_SEED`` environment variable (0 when unset).
+* **Pluggable fault specs.**  A :class:`FaultSpec` describes one fault kind
+  (``"transient"``, ``"oom"``, ``"slow"``, ``"death"``), its per-event rate,
+  an optional device restriction and an event threshold before it becomes
+  eligible.  Specs are evaluated in order; the first one that fires wins.
+* **Hooked where real CUDA errors surface.**  The injector is consulted from
+  :meth:`repro.gpu.device.Stream.enqueue` (stream-op hook: slow launches and
+  device death) and from the ``device_sim`` backend's stage execution
+  (kernel-launch hook: transient failures, OOMs and death), so faults raise
+  inside ``Plan.execute`` / timeline modelling exactly where a real
+  ``cudaError`` would.
+
+Example
+-------
+
+>>> from repro.faults import FaultInjector, FaultSpec
+>>> from repro.gpu.device import Device
+>>> inj = FaultInjector([FaultSpec("slow", rate=1.0, latency_multiplier=3.0)],
+...                     seed=7)
+>>> dev = Device()
+>>> _ = inj.attach([dev])
+>>> stream = dev.create_stream()
+>>> stream.enqueue("exec", 1.0).time   # every launch slowed 3x
+3.0
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultStats",
+    "FaultInjector",
+    "DeviceFaultError",
+    "TransientKernelError",
+    "DeviceOOMError",
+    "DeviceLostError",
+    "fault_seed_from_env",
+]
+
+#: Supported fault kinds, in the order the paper's failure taxonomy needs
+#: them: transient kernel failure, device OOM, stuck/slow launch, hard death.
+FAULT_KINDS = ("transient", "oom", "slow", "death")
+
+#: Environment variable naming the default fault seed.
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+
+# --------------------------------------------------------------------------- #
+# failure taxonomy
+# --------------------------------------------------------------------------- #
+class DeviceFaultError(RuntimeError):
+    """Base of all simulated device-side failures.
+
+    These are the *retryable* class of errors: the work itself is sound, the
+    device misbehaved.  The service's :class:`~repro.service.RetryPolicy`
+    retries them (on a different device when the fleet has one); validation
+    errors (``ValueError``/``TypeError``) are never retried.
+    """
+
+
+class TransientKernelError(DeviceFaultError):
+    """A kernel launch failed transiently (analogue of a sporadic
+    ``cudaErrorLaunchFailure``); an identical relaunch may succeed."""
+
+
+class DeviceOOMError(DeviceFaultError, MemoryError):
+    """An injected device out-of-memory failure (``cudaErrorMemoryAllocation``).
+
+    Distinct from :class:`repro.gpu.memory.OutOfDeviceMemory`, which models a
+    *deterministic* capacity overflow (a plan that genuinely does not fit and
+    would not fit anywhere); this one is transient allocator pressure and is
+    retryable.
+    """
+
+
+class DeviceLostError(DeviceFaultError):
+    """The device is gone (``cudaErrorDeviceUnavailable`` / Xid hard fault).
+
+    Raised by every operation on a dead device.  Retrying on the *same*
+    device is futile; the service re-dispatches to a healthy one and the
+    fleet evicts the device from placement.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# specs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultSpec:
+    """One pluggable fault behaviour.
+
+    Parameters
+    ----------
+    kind : str
+        One of :data:`FAULT_KINDS`: ``"transient"`` (kernel launch raises
+        :class:`TransientKernelError`), ``"oom"`` (raises
+        :class:`DeviceOOMError`), ``"slow"`` (multiplies the duration of
+        stream operations by ``latency_multiplier`` -- a stuck/slow launch),
+        or ``"death"`` (marks the device dead; every subsequent operation
+        raises :class:`DeviceLostError`).
+    rate : float
+        Probability in ``[0, 1]`` that the spec fires at one eligible event.
+        ``rate=1.0`` with ``after_events=k`` fires deterministically at the
+        device's ``k``-th event, which is how hard-death scenarios are
+        usually scripted.
+    device_ids : tuple of int, optional
+        Restrict the spec to these devices (``None`` = every device).
+    latency_multiplier : float
+        Slow-launch duration multiplier (``"slow"`` only; must be >= 1).
+    after_events : int
+        Number of events a device must have seen before the spec becomes
+        eligible (lets schedules say "die mid-run", "degrade after warmup").
+    """
+
+    kind: str
+    rate: float = 0.0
+    device_ids: tuple = None
+    latency_multiplier: float = 4.0
+    after_events: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= float(self.rate) <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.kind == "slow" and self.latency_multiplier < 1.0:
+            raise ValueError(
+                f"latency_multiplier must be >= 1, got {self.latency_multiplier}"
+            )
+        if self.after_events < 0:
+            raise ValueError(f"after_events must be >= 0, got {self.after_events}")
+        if self.device_ids is not None:
+            object.__setattr__(
+                self, "device_ids", tuple(int(d) for d in self.device_ids)
+            )
+
+    def applies_to(self, device_id):
+        """Whether the spec targets ``device_id``."""
+        return self.device_ids is None or device_id in self.device_ids
+
+
+@dataclass
+class FaultStats:
+    """Counters of the faults an injector actually fired."""
+
+    events: int = 0
+    injected: dict = field(default_factory=dict)  # kind -> count
+
+    def record(self, kind):
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+
+def fault_seed_from_env(default=0):
+    """The fault seed from ``REPRO_FAULT_SEED`` (``default`` when unset)."""
+    raw = os.environ.get(FAULT_SEED_ENV)
+    if raw is None or not raw.strip():
+        return int(default)
+    return int(raw)
+
+
+# --------------------------------------------------------------------------- #
+# the injector
+# --------------------------------------------------------------------------- #
+class FaultInjector:
+    """Deterministic, seedable fault source shared by a device fleet.
+
+    The injector keeps one event counter per device; every hook call is one
+    event.  Each eligible spec draws its own uniform deviate
+    ``u = h(seed, device, event, spec) / 2^64`` and fires when ``u < rate``,
+    so schedules are independent of dict ordering, wall clock and process --
+    the substrate for the acceptance criterion that two runs with the same
+    ``REPRO_FAULT_SEED`` produce identical failure counters.
+
+    Parameters
+    ----------
+    specs : iterable of FaultSpec
+        Fault behaviours, evaluated in order (first raising spec wins; all
+        matching ``"slow"`` specs multiply).
+    seed : int, optional
+        Schedule seed; defaults to :func:`fault_seed_from_env`.
+    """
+
+    def __init__(self, specs=(), seed=None):
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"specs must be FaultSpec instances, got {spec!r}")
+        self.seed = fault_seed_from_env() if seed is None else int(seed)
+        self.stats = FaultStats()
+        self._events = {}  # device_id -> event count
+        self._dead = set()
+
+    # ------------------------------------------------------------------ #
+    # deterministic draws
+    # ------------------------------------------------------------------ #
+    def _draw(self, device_id, event_index, spec_index):
+        """Uniform deviate in [0, 1), a pure function of its arguments."""
+        token = f"{self.seed}:{device_id}:{event_index}:{spec_index}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    def _next_event(self, device_id):
+        event = self._events.get(device_id, 0)
+        self._events[device_id] = event + 1
+        self.stats.events += 1
+        return event
+
+    def _eligible(self, spec, device_id, event):
+        return (spec.rate > 0.0 and spec.applies_to(device_id)
+                and event >= spec.after_events)
+
+    def _check_death(self, device):
+        # Liveness is the device's own state (so Device.reset can revive the
+        # hardware); the injector's _dead set only records kills it fired.
+        if not getattr(device, "alive", True):
+            raise DeviceLostError(
+                f"device {device.device_id} is lost (hard fault)"
+            )
+
+    def _kill(self, device):
+        self._dead.add(device.device_id)
+        device.alive = False
+        self.stats.record("death")
+        raise DeviceLostError(
+            f"device {device.device_id} suffered a hard fault and is lost"
+        )
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+    def on_kernel_launch(self, device, name=""):
+        """Kernel-launch hook (``device_sim`` stage execution).
+
+        Raises :class:`DeviceLostError` on a dead device, may fire
+        ``"death"``, ``"transient"`` or ``"oom"`` specs; returns ``None``
+        when the launch proceeds.
+        """
+        self._check_death(device)
+        event = self._next_event(device.device_id)
+        for i, spec in enumerate(self.specs):
+            if spec.kind not in ("transient", "oom", "death"):
+                continue
+            if not self._eligible(spec, device.device_id, event):
+                continue
+            if self._draw(device.device_id, event, i) >= spec.rate:
+                continue
+            if spec.kind == "death":
+                self._kill(device)
+            self.stats.record(spec.kind)
+            if spec.kind == "transient":
+                raise TransientKernelError(
+                    f"transient launch failure of kernel {name!r} "
+                    f"on device {device.device_id}"
+                )
+            raise DeviceOOMError(
+                f"device {device.device_id} out of memory launching {name!r}"
+            )
+
+    def on_stream_op(self, device, engine, seconds, label=""):
+        """Stream-enqueue hook (:meth:`repro.gpu.device.Stream.enqueue`).
+
+        Raises :class:`DeviceLostError` on a dead device, may fire
+        ``"death"`` specs, and returns the (possibly slow-launch-inflated)
+        operation duration in seconds.
+        """
+        self._check_death(device)
+        event = self._next_event(device.device_id)
+        for i, spec in enumerate(self.specs):
+            if spec.kind not in ("slow", "death"):
+                continue
+            if not self._eligible(spec, device.device_id, event):
+                continue
+            if self._draw(device.device_id, event, i) >= spec.rate:
+                continue
+            if spec.kind == "death":
+                self._kill(device)
+            self.stats.record("slow")
+            seconds = seconds * spec.latency_multiplier
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    # wiring / lifecycle
+    # ------------------------------------------------------------------ #
+    def attach(self, devices):
+        """Install this injector on every device in ``devices``."""
+        for device in devices:
+            device.fault_injector = self
+        return self
+
+    def is_dead(self, device_id):
+        """Whether the injector has ever hard-killed ``device_id``.
+
+        A historical record of ``"death"`` specs fired; the authoritative
+        liveness state is ``Device.alive`` (a :meth:`Device.reset` revives).
+        """
+        return device_id in self._dead
+
+    def reset(self):
+        """Forget counters and dead devices (a fresh, identical schedule)."""
+        self.stats = FaultStats()
+        self._events = {}
+        self._dead = set()
+
+    def __repr__(self):  # pragma: no cover - debugging nicety
+        kinds = ",".join(s.kind for s in self.specs) or "none"
+        return (f"FaultInjector(seed={self.seed}, specs=[{kinds}], "
+                f"events={self.stats.events}, dead={sorted(self._dead)})")

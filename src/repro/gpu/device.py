@@ -62,12 +62,28 @@ class Stream:
         self.ops = deque(maxlen=self.MAX_OPS_LOGGED)  # (engine, start, end, label)
 
     def enqueue(self, engine, seconds, label=""):
-        """Queue ``seconds`` of work on ``engine``; returns its completion Event."""
+        """Queue ``seconds`` of work on ``engine``; returns its completion Event.
+
+        When the device carries a :class:`~repro.faults.FaultInjector`, the
+        injector's stream-op hook runs first: it may inflate ``seconds``
+        (stuck/slow launch) or raise :class:`~repro.faults.DeviceLostError`
+        (hard device death) -- the same places a real ``cudaErrorStreamCapture``
+        / device-lost error would surface.
+        """
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         seconds = float(seconds)
         if seconds < 0.0:
             raise ValueError(f"operation duration must be nonnegative, got {seconds}")
+        injector = self.device.fault_injector
+        if injector is not None:
+            seconds = injector.on_stream_op(self.device, engine, seconds, label)
+        elif not self.device.alive:
+            from ..faults import DeviceLostError
+
+            raise DeviceLostError(
+                f"device {self.device.device_id} is lost (hard fault)"
+            )
         start = max(self.ready_at, self.device.engine_frontier[engine])
         end = start + seconds
         self.ready_at = end
@@ -204,6 +220,13 @@ class Device:
         model slows kernels down once this exceeds 1 (paper Fig. 9 shows
         "rapid deterioration of weak scaling once each GPU is used by more
         than one rank").
+    alive : bool
+        ``False`` once a hard fault has killed the device: every stream
+        operation and simulated kernel launch then raises
+        :class:`~repro.faults.DeviceLostError` until :meth:`reset`.
+    fault_injector : FaultInjector or None
+        Optional :class:`~repro.faults.FaultInjector` consulted on every
+        stream operation and kernel launch (``None`` = fault-free).
     """
 
     spec: DeviceSpec = field(default_factory=lambda: V100_SPEC)
@@ -218,6 +241,8 @@ class Device:
         self.streams = []
         self.engine_frontier = {engine: 0.0 for engine in ENGINES}
         self.busy_seconds = {engine: 0.0 for engine in ENGINES}
+        self.alive = True
+        self.fault_injector = None
 
     # -- stream timeline (service-layer h2d/exec/d2h overlap model) ---------
     def create_stream(self):
@@ -273,13 +298,35 @@ class Device:
             return 1.0
         return r * 1.05
 
+    def check_launch(self, name=""):
+        """Simulated kernel-launch fault gate (``device_sim`` stage hook).
+
+        Consults the attached fault injector (transient kernel failures,
+        injected OOMs, hard death); without one, only refuses launches on a
+        dead device.  Raises a :class:`~repro.faults.DeviceFaultError`
+        subclass when the launch fails, returns ``None`` otherwise.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.on_kernel_launch(self, name)
+        elif not self.alive:
+            from ..faults import DeviceLostError
+
+            raise DeviceLostError(f"device {self.device_id} is lost (hard fault)")
+
     def reset(self):
-        """Free all allocations, forget contexts and rewind the timeline."""
+        """Free all allocations, forget contexts and rewind the timeline.
+
+        A full reset revives a hard-killed device (the simulator analogue of
+        swapping the hardware); :meth:`reset_timeline` does not.  The fault
+        injector stays attached -- clear ``fault_injector`` (or
+        :meth:`~repro.faults.FaultInjector.reset` it) for a clean schedule.
+        """
         from .memory import MemoryPool
 
         self.memory = MemoryPool(capacity_bytes=self.spec.global_mem_bytes)
         self.active_contexts = 0
         self.streams = []
+        self.alive = True
         self.reset_timeline()
 
     def __repr__(self):  # pragma: no cover - debugging nicety

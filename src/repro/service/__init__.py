@@ -18,7 +18,13 @@ transforms amortize their setup.  This package applies that amortization to a
 * optionally autotunes every plan it creates (``TransformService(tune=...)``,
   see :mod:`repro.tuning`): all pooled plans share one
   :class:`~repro.tuning.Autotuner` and its persistent cache, so concurrent
-  requests of one problem signature trigger a single tuning run.
+  requests of one problem signature trigger a single tuning run, and
+* stays available through injected device faults (:mod:`repro.faults`):
+  retryable failures re-dispatch under a :class:`RetryPolicy`, per-device
+  circuit breakers steer placement away from flaky GPUs, ``deadline_s``
+  budgets classify slow requests as timeouts, and a bounded intake queue
+  (``max_queue_depth``) sheds the lowest-priority work with
+  :class:`ServiceOverloadedError` under overload.
 
 Quickstart (mirrors the :class:`~repro.core.plan.Plan` quickstart)
 ------------------------------------------------------------------
@@ -51,6 +57,7 @@ per-device utilization.
 
 from .pool import PlanPool, PooledPlan
 from .request import TransformRequest, TransformResult
+from .resilience import DeadlineExceededError, RetryPolicy, ServiceOverloadedError
 from .service import ServiceStats, TransformService
 
 __all__ = [
@@ -60,4 +67,7 @@ __all__ = [
     "TransformResult",
     "ServiceStats",
     "TransformService",
+    "RetryPolicy",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
 ]

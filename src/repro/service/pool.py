@@ -136,6 +136,25 @@ class PlanPool:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    def purge_device(self, device_id):
+        """Destroy every idle plan bound to ``device_id``; returns the count.
+
+        Called when a device is evicted or drained: its plans hold state on
+        hardware that placement will never select again (or that is outright
+        dead), so reusing them would be wrong -- they are destroyed, not
+        recycled.  Keys end in the device id (``(plan_key, n_trans,
+        device_id)``), so the match is on ``key[-1]``.
+        """
+        purged = 0
+        for key in list(self._idle):
+            if key[-1] != device_id:
+                continue
+            for entry in self._idle.pop(key):
+                self.n_idle -= 1
+                purged += 1
+                entry.plan.destroy()
+        return purged
+
     def clear(self):
         """Destroy every idle plan."""
         for bucket in self._idle.values():

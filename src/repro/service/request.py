@@ -84,6 +84,14 @@ class TransformRequest:
         Type-3 target frequencies, one 1-D array per dimension.
     ``tag``
         Opaque caller token echoed on the :class:`TransformResult`.
+    ``priority``
+        Load-shedding rank (higher = more important).  When the service's
+        bounded intake queue overflows, the *lowest*-priority queued request
+        is shed first.
+    ``deadline_s``
+        Optional modelled-time budget (seconds) from the request's first
+        dispatch; a request whose completion would land past it fails with
+        :class:`~repro.service.DeadlineExceededError`.
 
     Validation is eager: malformed shapes and non-finite points raise
     ``ValueError`` here, *before* the request can reach a (possibly shared,
@@ -109,6 +117,8 @@ class TransformRequest:
     backend: str = "auto"
     isign: int = None
     tag: object = None
+    priority: int = 0
+    deadline_s: float = None
     _points_digest: str = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
@@ -135,6 +145,14 @@ class TransformRequest:
         # Normalize isign eagerly (front-door validation): None resolves to
         # the per-type convention, anything else must be +-1.
         self.isign = Opts(isign=self.isign).resolve_isign(self.nufft_type)
+        self.priority = int(self.priority)
+        if self.deadline_s is not None:
+            self.deadline_s = float(self.deadline_s)
+            if not np.isfinite(self.deadline_s) or self.deadline_s <= 0.0:
+                raise ValueError(
+                    f"deadline_s must be a finite positive budget, "
+                    f"got {self.deadline_s}"
+                )
 
         self._validate_points()
         self._validate_data()
@@ -255,6 +273,16 @@ class TransformResult:
         Transform output (``None`` when ``error`` is set).
     error : Exception or None
         The per-request failure, if the serving block raised.
+    error_type : str or None
+        Class name of ``error`` (the service's failure taxonomy key, e.g.
+        ``"TransientKernelError"``); ``None`` on success.
+    error_message : str or None
+        ``str(error)``; ``None`` on success.
+    attempts : int
+        Dispatch attempts the serving block took (1 = no retries).
+    degraded : bool
+        Whether the request was served in whole-fleet-degraded mode (every
+        device inadmissible; single fallback device).
     device_id : int
         Fleet device the request executed on.
     plan_reused : bool
@@ -274,6 +302,10 @@ class TransformResult:
     tag: object = None
     output: np.ndarray = None
     error: Exception = None
+    error_type: str = None
+    error_message: str = None
+    attempts: int = 1
+    degraded: bool = False
     device_id: int = -1
     plan_reused: bool = False
     setpts_reused: bool = False

@@ -1,0 +1,135 @@
+"""Retry, deadline and load-shedding policy objects of the serving layer.
+
+The :class:`~repro.service.TransformService` stays available through the
+fault kinds :mod:`repro.faults` injects by (a) retrying retryable device
+faults under a :class:`RetryPolicy` with deterministic exponential backoff,
+(b) enforcing per-request deadlines (``deadline_s``, raising
+:class:`DeadlineExceededError` on the request's modelled timeline), and
+(c) shedding the lowest-priority work with :class:`ServiceOverloadedError`
+once its bounded intake queue overflows.
+
+Everything here is deterministic: backoff jitter is a ``blake2b`` hash of
+``(seed, token, attempt)`` rather than a live RNG, so two runs of the same
+request sequence with the same ``REPRO_FAULT_SEED`` back off identically --
+the same property the :class:`~repro.faults.FaultInjector` guarantees for
+the fault schedule itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..faults import DeviceFaultError, fault_seed_from_env
+
+__all__ = ["RetryPolicy", "ServiceOverloadedError", "DeadlineExceededError"]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The service's bounded intake queue is full and this request was shed.
+
+    Raised (or attached to a :class:`~repro.service.TransformResult`) for the
+    lowest-priority work when queue depth exceeds the service's
+    ``max_queue_depth``.  The request was never executed; resubmitting later,
+    or with a higher ``priority``, may succeed.
+    """
+
+
+class DeadlineExceededError(TimeoutError):
+    """The request's modelled completion would land past its ``deadline_s``.
+
+    Deadlines are budgets relative to the request's first dispatch on the
+    modelled timeline; they classify slow completions (stuck launches, long
+    retry chains) as timeouts rather than letting them occupy devices.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and deterministic exponential backoff for device faults.
+
+    Parameters
+    ----------
+    max_attempts : int
+        Total attempts per unit of work (1 = no retries).
+    base_backoff_s : float
+        Modelled backoff before the first retry; attempt ``k`` (1-based
+        retry index) waits ``base * multiplier**(k-1)``, capped at
+        ``max_backoff_s``, then jittered.
+    backoff_multiplier : float
+        Exponential growth factor (>= 1).
+    max_backoff_s : float
+        Upper bound on the un-jittered backoff.
+    jitter : float
+        Fractional jitter amplitude in ``[0, 1]``: the backoff is scaled by
+        ``1 + jitter * (u - 0.5)`` where ``u`` is a deterministic uniform
+        deviate drawn from ``(seed, token, attempt)``.
+    seed : int, optional
+        Jitter seed; defaults to ``REPRO_FAULT_SEED`` (0 when unset) so the
+        whole resilience stack shares one reproducibility knob.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=4, base_backoff_s=1e-3, jitter=0.0)
+    >>> [round(policy.backoff_s(k, "req-0"), 4) for k in (1, 2, 3)]
+    [0.001, 0.002, 0.004]
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 1e-3
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 0.1
+    jitter: float = 0.1
+    seed: int = None
+
+    def __post_init__(self):
+        if int(self.max_attempts) < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        object.__setattr__(self, "max_attempts", int(self.max_attempts))
+        if self.base_backoff_s < 0.0:
+            raise ValueError(
+                f"base_backoff_s must be >= 0, got {self.base_backoff_s}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.max_backoff_s < 0.0:
+            raise ValueError(f"max_backoff_s must be >= 0, got {self.max_backoff_s}")
+        if not 0.0 <= float(self.jitter) <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.seed is None:
+            object.__setattr__(self, "seed", fault_seed_from_env())
+        else:
+            object.__setattr__(self, "seed", int(self.seed))
+
+    def should_retry(self, exc):
+        """Whether ``exc`` is retryable under this policy.
+
+        Only the simulated device-fault taxonomy
+        (:class:`~repro.faults.DeviceFaultError` subclasses) is retryable;
+        validation errors (``ValueError`` / ``TypeError``) and arbitrary
+        application exceptions are not -- retrying them would just repeat
+        the failure.
+        """
+        return isinstance(exc, DeviceFaultError)
+
+    def backoff_s(self, attempt, token=""):
+        """Modelled backoff (seconds) before retry number ``attempt`` (1-based).
+
+        Deterministic in ``(seed, token, attempt)``; pass a per-request token
+        (e.g. the request id) so concurrent retry chains decorrelate.
+        """
+        attempt = int(attempt)
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        backoff = min(
+            self.base_backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter > 0.0 and backoff > 0.0:
+            raw = f"{self.seed}:{token}:{attempt}".encode()
+            digest = hashlib.blake2b(raw, digest_size=8).digest()
+            u = int.from_bytes(digest, "big") / 2.0**64
+            backoff *= 1.0 + self.jitter * (u - 0.5)
+        return backoff

@@ -12,16 +12,27 @@ import numpy as np
 
 from ..cluster.fleet import DeviceFleet
 from ..core.plan import Plan
+from ..faults import DeviceFaultError, DeviceLostError
 from ..gpu.costmodel import CostModel
 from .pool import PlanPool
 from .request import TransformRequest, TransformResult, plan_key_for
+from .resilience import DeadlineExceededError, RetryPolicy, ServiceOverloadedError
 
 __all__ = ["ServiceStats", "TransformService"]
 
 
 @dataclass
 class ServiceStats:
-    """Serving counters accumulated over the service lifetime."""
+    """Serving counters accumulated over the service lifetime.
+
+    The resilience counters form the service's failure taxonomy: ``retries``
+    (re-dispatches after retryable device faults), ``breaker_trips``
+    (circuit breakers opened), ``requests_shed`` (bounded-queue overload),
+    ``deadline_exceeded`` (requests classified as timeouts),
+    ``degraded_shards`` / ``degraded_seconds`` (work served with every
+    device inadmissible) and ``failures_by_type`` (exception class name ->
+    count, every failure observed, including ones later retried away).
+    """
 
     requests_submitted: int = 0
     requests_served: int = 0
@@ -38,6 +49,13 @@ class ServiceStats:
     setpts_executed: int = 0
     lease_hits: int = 0
     lease_misses: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    requests_shed: int = 0
+    deadline_exceeded: int = 0
+    degraded_shards: int = 0
+    degraded_seconds: float = 0.0
+    failures_by_type: dict = field(default_factory=dict)
     modelled_engine_seconds: dict = field(
         default_factory=lambda: {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
     )
@@ -107,6 +125,22 @@ class TransformService:
         On-disk tuning cache, so tuned configurations survive restarts.  A
         corrupt or partially-written file falls back to model-scored tuning
         (see :class:`~repro.tuning.TuningCache`).
+    retry : RetryPolicy, optional
+        Retry budget and deterministic backoff applied to retryable device
+        faults (:class:`~repro.faults.DeviceFaultError` subclasses).  The
+        default ``RetryPolicy()`` retries up to 3 attempts; validation and
+        application errors are never retried.  Backoff is charged to the
+        request's modelled timeline.
+    max_queue_depth : int, optional
+        Bounded-intake-queue limit.  When a :meth:`submit` would push the
+        queue past this depth, the *lowest-priority* request is shed with
+        :class:`~repro.service.ServiceOverloadedError` -- the incoming one
+        (raising) when it ties for lowest, a queued one (error result at
+        :meth:`flush`) when it ranks strictly lower.  ``None`` (default)
+        leaves the queue unbounded.
+    fault_injector : FaultInjector, optional
+        A :class:`~repro.faults.FaultInjector` to attach to every fleet
+        device (chaos testing / resilience benchmarks).
     """
 
     def __init__(self, fleet=None, n_devices=1, streams_per_device=2,
@@ -114,7 +148,8 @@ class TransformService:
                  shard_min_block=4, max_block=64,
                  dispatch_latency_s=2.0e-5, charge_plan_creation=True,
                  shared_host_link=True, tune="off", tuner=None,
-                 tuning_cache_path=None):
+                 tuning_cache_path=None, retry=None, max_queue_depth=None,
+                 fault_injector=None):
         self.fleet = fleet if fleet is not None else DeviceFleet(
             n_devices=n_devices, streams_per_device=streams_per_device
         )
@@ -142,8 +177,24 @@ class TransformService:
             self.tuner = tuner
         else:
             self.tuner = Autotuner(cache=TuningCache(tuning_cache_path))
+        self.retry = retry if retry is not None else RetryPolicy()
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if max_queue_depth is not None:
+            max_queue_depth = int(max_queue_depth)
+            if max_queue_depth < 1:
+                raise ValueError(
+                    f"max_queue_depth must be >= 1, got {max_queue_depth}"
+                )
+        self.max_queue_depth = max_queue_depth
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(self.fleet.devices)
         self.stats = ServiceStats()
         self._queue = []  # list[(seq, TransformRequest)]
+        self._shed = []  # list[(seq, TransformResult)] awaiting flush
         self._seq = itertools.count()
         self._leased = {}  # id(plan) -> PooledPlan
         self._host_frontier = 0.0
@@ -168,9 +219,46 @@ class TransformService:
         if not isinstance(request, TransformRequest):
             raise TypeError(f"expected a TransformRequest, got {type(request).__name__}")
         seq = next(self._seq)
-        self._queue.append((seq, request))
         self.stats.requests_submitted += 1
+        if (self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth):
+            self._shed_lowest(seq, request)
+        self._queue.append((seq, request))
         return seq
+
+    def _shed_lowest(self, seq, request):
+        """Shed the lowest-priority request to admit ``(seq, request)``.
+
+        Rank is ``(priority, -seq)``: among equal priorities the *newest*
+        request sheds first, so the incoming one loses ties (it raises
+        :class:`ServiceOverloadedError` and never enters the queue).  A
+        strictly lower-priority queued victim is removed instead and
+        receives an error result at :meth:`flush`.
+        """
+        victim_i = None
+        victim_rank = (request.priority, -seq)
+        for i, (s, r) in enumerate(self._queue):
+            if (r.priority, -s) < victim_rank:
+                victim_rank = (r.priority, -s)
+                victim_i = i
+        self.stats.requests_shed += 1
+        depth = len(self._queue)
+        if victim_i is None:
+            raise ServiceOverloadedError(
+                f"intake queue at max_queue_depth={self.max_queue_depth} "
+                f"({depth} queued) and no queued request has priority below "
+                f"{request.priority}; request shed"
+            )
+        vseq, vreq = self._queue.pop(victim_i)
+        exc = ServiceOverloadedError(
+            f"shed from the intake queue at depth {depth} "
+            f"(max_queue_depth={self.max_queue_depth}, priority "
+            f"{vreq.priority} was the lowest queued)"
+        )
+        self._shed.append((vseq, TransformResult(
+            tag=vreq.tag, error=exc, error_type=type(exc).__name__,
+            error_message=str(exc),
+        )))
 
     def run(self, requests):
         """Submit a batch of requests and flush; returns results in order."""
@@ -187,14 +275,19 @@ class TransformService:
         Requests are grouped into same-geometry/same-points blocks (when
         coalescing is on), blocks are sharded over the fleet, and each shard
         runs as one fused ``n_trans`` execute on a pooled (or fresh) plan.
-        A failing shard yields per-request ``error`` results and does not
-        disturb other blocks.
+        A failing shard retries under the service's :class:`RetryPolicy`
+        (re-dispatching to healthy devices), and a shard that exhausts its
+        budget yields per-request ``error`` results without disturbing other
+        blocks.  Requests shed from the bounded queue are returned here too,
+        carrying :class:`ServiceOverloadedError`, in submission order with
+        the rest.
         """
         self._require_open()
         queue, self._queue = self._queue, []
-        if not queue:
+        shed, self._shed = self._shed, []
+        if not queue and not shed:
             return []
-        results = {}
+        results = dict(shed)
         for block in self._group(queue):
             shards = self._shards(block)
             if len(shards) == 1:
@@ -203,13 +296,18 @@ class TransformService:
                 # Pin a multi-shard block's shards to distinct devices (in
                 # least-loaded order) so the block actually runs in parallel;
                 # plan affinity alone would pile every shard onto the device
-                # already holding a matching plan.
-                ranked = self.fleet.ranked()
+                # already holding a matching plan.  Pinning is health-aware;
+                # with every device lost the shards dispatch unpinned and
+                # fail with per-request DeviceLostError results.
+                try:
+                    ranked = self.fleet.ranked()
+                except DeviceLostError:
+                    ranked = None
                 for i, shard in enumerate(shards):
-                    self._execute_shard(shard, results,
-                                        device=ranked[i % len(ranked)])
+                    device = ranked[i % len(ranked)] if ranked else None
+                    self._execute_shard(shard, results, device=device)
             self.stats.blocks_executed += 1
-        return [results[seq] for seq, _ in queue]
+        return [results[seq] for seq in sorted(results)]
 
     def _group(self, queue):
         """Coalesce the queue into same-geometry/same-points blocks."""
@@ -239,34 +337,127 @@ class TransformService:
         return [[block[i] for i in idx] for idx in bounds if len(idx)]
 
     def _execute_shard(self, shard, results, device=None):
+        """Execute one shard with retry, deadline and degradation handling.
+
+        A retryable device fault (:class:`~repro.faults.DeviceFaultError`)
+        re-dispatches the shard -- health-aware placement steers retries to
+        healthy devices, and a dead device is evicted (its pooled plans
+        destroyed).  Backoff between attempts is charged to the modelled
+        host timeline.  The shard's effective deadline is the tightest
+        ``deadline_s`` among its requests; exceeding it while retrying (or
+        at completion) classifies the requests as deadline-exceeded.
+        Validation and application errors fail immediately (attempt 1).
+        """
         req0 = shard[0][1]
         n_trans = len(shard)
-        entry = None
-        try:
-            entry, created = self._acquire_plan(
-                req0.plan_key(), n_trans, req0.points_key(),
-                lambda dev: self._make_plan(req0, n_trans, dev),
-                device=device,
-            )
-            if created:
-                self.stats.plan_cache_misses += 1
-                self.stats.plans_created += 1
+        deadline = min((r.deadline_s for _, r in shard
+                        if r.deadline_s is not None), default=None)
+        started_at = self._host_frontier
+        token = str(shard[0][0])
+        attempts = 0
+        while True:
+            attempts += 1
+            entry = None
+            try:
+                degraded = not self.fleet.admissible()
+                target = device
+                if (attempts > 1 or degraded
+                        or (target is not None
+                            and not self.fleet.is_admissible(target.device_id))):
+                    target = None  # re-place health-aware
+                entry, created = self._acquire_plan(
+                    req0.plan_key(), n_trans, req0.points_key(),
+                    lambda dev: self._make_plan(req0, n_trans, dev),
+                    device=target,
+                )
+                if created:
+                    self.stats.plan_cache_misses += 1
+                    self.stats.plans_created += 1
+                else:
+                    self.stats.plan_cache_hits += 1
+                self._execute_shard_inner(
+                    shard, req0, n_trans, entry, created, results,
+                    attempts=attempts, degraded=degraded,
+                    started_at=started_at,
+                )
+            except Exception as exc:  # per-request failure isolation
+                # Don't pool a plan whose set_pts/execute failed mid-flight:
+                # its cached point state can no longer be vouched for.
+                if entry is not None:
+                    entry.plan.destroy()
+                self._note_failure(exc, entry.key[-1] if entry else None)
+                final = not (self.retry.should_retry(exc)
+                             and attempts < self.retry.max_attempts
+                             and self._fleet_has_candidates())
+                if not final:
+                    self._host_frontier += self.retry.backoff_s(attempts, token)
+                    self.stats.retries += 1
+                    if (deadline is not None
+                            and self._host_frontier - started_at > deadline):
+                        exc = DeadlineExceededError(
+                            f"deadline_s={deadline} exhausted after "
+                            f"{attempts} attempt(s)"
+                        )
+                        final = True
+                if not final:
+                    continue
+                self.stats.requests_failed += n_trans
+                if isinstance(exc, DeadlineExceededError):
+                    self.stats.deadline_exceeded += n_trans
+                for seq, req in shard:
+                    results[seq] = TransformResult(
+                        tag=req.tag, error=exc,
+                        error_type=type(exc).__name__,
+                        error_message=str(exc),
+                        attempts=attempts, block_size=n_trans,
+                    )
+                return
             else:
-                self.stats.plan_cache_hits += 1
-            self._execute_shard_inner(shard, req0, n_trans, entry, created, results)
-        except Exception as exc:  # per-request failure isolation
-            # Don't pool a plan whose set_pts/execute failed mid-flight: its
-            # cached point state can no longer be vouched for.
-            if entry is not None:
-                entry.plan.destroy()
-            self.stats.requests_failed += len(shard)
-            for seq, req in shard:
-                results[seq] = TransformResult(tag=req.tag, error=exc,
-                                               block_size=n_trans)
+                self.fleet.record_success(entry.key[-1])
+                self._release_entry(entry)
+                return
+
+    def _note_failure(self, exc, device_id=None):
+        """Taxonomy-count one failure and update the device's health."""
+        name = type(exc).__name__
+        self.stats.failures_by_type[name] = (
+            self.stats.failures_by_type.get(name, 0) + 1
+        )
+        # Only device faults count against the breaker: an application or
+        # validation error says nothing about the hardware that ran it.
+        if device_id is None or not isinstance(exc, DeviceFaultError):
+            return
+        if self.fleet.record_failure(device_id):
+            self.stats.breaker_trips += 1
+        if isinstance(exc, DeviceLostError):
+            self.fleet.evict(device_id)
+            self.pool.purge_device(device_id)
+
+    def _fleet_has_candidates(self):
+        """Whether any device could still serve (alive and not evicted)."""
+        return any(
+            getattr(d, "alive", True) and not self.fleet.health[d.device_id].evicted
+            for d in self.fleet.devices
+        )
+
+    def _release_entry(self, entry):
+        """Pool a finished entry -- unless its device left the fleet.
+
+        A plan bound to an evicted, draining or dead device must be
+        destroyed, not recycled: placement will never (or should never)
+        select that device again, and its simulated allocations are stale.
+        """
+        device_id = entry.key[-1]
+        health = self.fleet.health[device_id]
+        alive = getattr(self.fleet.device(device_id), "alive", True)
+        if health.evicted or health.draining or not alive:
+            entry.plan.destroy()
         else:
             self.pool.release(entry)
 
-    def _execute_shard_inner(self, shard, req0, n_trans, entry, created, results):
+    def _execute_shard_inner(self, shard, req0, n_trans, entry, created,
+                             results, attempts=1, degraded=False,
+                             started_at=0.0):
         plan = entry.plan
         setpts_reused = (not created) and entry.points_key == req0.points_key()
         setup_seconds = {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
@@ -297,8 +488,33 @@ class TransformService:
         completed_at, modelled = self._enqueue_timeline(
             entry, plan_setup_s, setup_seconds, exec_seconds
         )
+        if degraded:
+            self.stats.degraded_shards += 1
+            self.stats.degraded_seconds += (
+                modelled["h2d"] + modelled["exec"] + modelled["d2h"]
+            )
 
+        served = 0
         for i, (seq, req) in enumerate(shard):
+            # A request whose completion lands past its own deadline_s is a
+            # timeout even though the block computed it (the block served
+            # its shard-mates; this caller stopped waiting).
+            if (req.deadline_s is not None
+                    and completed_at - started_at > req.deadline_s):
+                exc = DeadlineExceededError(
+                    f"completed {completed_at - started_at:.6f}s after first "
+                    f"dispatch, past deadline_s={req.deadline_s}"
+                )
+                self.stats.deadline_exceeded += 1
+                self.stats.requests_failed += 1
+                results[seq] = TransformResult(
+                    tag=req.tag, error=exc, error_type=type(exc).__name__,
+                    error_message=str(exc), attempts=attempts,
+                    degraded=degraded, device_id=entry.device_id,
+                    block_size=n_trans, completed_at=completed_at,
+                )
+                continue
+            served += 1
             results[seq] = TransformResult(
                 tag=req.tag,
                 output=outputs[i],
@@ -308,8 +524,10 @@ class TransformService:
                 block_size=n_trans,
                 modelled_seconds=modelled,
                 completed_at=completed_at,
+                attempts=attempts,
+                degraded=degraded,
             )
-        self.stats.requests_served += n_trans
+        self.stats.requests_served += served
         self.stats.shards_executed += 1
 
     def _enqueue_timeline(self, entry, plan_setup_s, setup_seconds, exec_seconds):
@@ -424,7 +642,7 @@ class TransformService:
             Merged over shards, row order preserved; ``device_ids`` lists
             the devices the shards ran on.
         """
-        from ..solve import SolveRequest, SolveResult, execute_solve
+        from ..solve import SolveRequest
 
         self._require_open()
         if request is None:
@@ -436,12 +654,9 @@ class TransformService:
 
         n_shards = min(self.fleet.n_devices, request.n_rhs)
         if n_shards <= 1:
-            result = execute_solve(request, service=self,
-                                   device=self.fleet.least_loaded())
-            self._enqueue_solve_timeline(result)
+            result = self._execute_solve_shard(request,
+                                               self.fleet.least_loaded(), "solve")
             self.stats.solves_served += request.n_rhs
-            self.stats.solve_shards += 1
-            self.stats.solve_cg_iterations += int(sum(result.n_iter))
             return result
 
         ranked = self.fleet.ranked()
@@ -465,14 +680,48 @@ class TransformService:
             if len(idx) == 0:
                 continue
             shard_req = request.replace_data(rows[idx], weights=weights)
-            result = execute_solve(shard_req, service=self,
-                                   device=ranked[i % len(ranked)])
-            self._enqueue_solve_timeline(result)
+            result = self._execute_solve_shard(
+                shard_req, ranked[i % len(ranked)], f"solve-shard-{i}"
+            )
             shard_results.append(result)
-            self.stats.solve_shards += 1
-            self.stats.solve_cg_iterations += int(sum(result.n_iter))
         self.stats.solves_served += request.n_rhs
         return self._merge_solve_results(request, shard_results)
+
+    def _execute_solve_shard(self, shard_req, device, token):
+        """Run one solve shard with retry and health tracking.
+
+        Device faults raised inside :func:`~repro.solve.execute_solve`
+        (every leased plan releases via ``finally``, so retries never leak
+        leases) re-dispatch the shard to the healthiest device, with the
+        same backoff-on-the-modelled-timeline accounting as transform
+        shards.  A shard that exhausts its budget raises to the caller --
+        a solve has no per-request error slot to degrade into.
+        """
+        from ..solve import execute_solve
+
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = execute_solve(shard_req, service=self, device=device)
+            except Exception as exc:
+                self._note_failure(
+                    exc, device.device_id if device is not None else None
+                )
+                if not (self.retry.should_retry(exc)
+                        and attempts < self.retry.max_attempts
+                        and self._fleet_has_candidates()):
+                    raise
+                self._host_frontier += self.retry.backoff_s(attempts, token)
+                self.stats.retries += 1
+                device = self.fleet.least_loaded()
+                continue
+            if device is not None:
+                self.fleet.record_success(device.device_id)
+            self._enqueue_solve_timeline(result)
+            self.stats.solve_shards += 1
+            self.stats.solve_cg_iterations += int(sum(result.n_iter))
+            return result
 
     def _enqueue_solve_timeline(self, result):
         """Model one solve shard on its device's streams (like a block)."""
@@ -566,14 +815,37 @@ class TransformService:
 
         A plan the lessee already destroyed (e.g. by using it as a context
         manager) is dropped rather than pooled -- pooling it would hand a
-        dead plan to the next same-geometry request.
+        dead plan to the next same-geometry request.  Likewise a plan whose
+        device was evicted, drained or lost mid-lease is destroyed, not
+        recycled.
         """
         entry = self._leased.pop(id(plan), None)
         if entry is None:
             raise ValueError("plan was not leased from this service")
         if plan._destroyed:
             return
-        self.pool.release(entry)
+        self._release_entry(entry)
+
+    # ------------------------------------------------------------------ #
+    # fleet administration
+    # ------------------------------------------------------------------ #
+    def drain_device(self, device_id):
+        """Drain one device: no new placements, idle pooled plans destroyed.
+
+        In-flight leases finish normally (and are destroyed at release);
+        :meth:`restore_device` re-admits the device.
+        """
+        self.fleet.drain(device_id)
+        self.pool.purge_device(device_id)
+
+    def restore_device(self, device_id):
+        """Re-admit a drained device to placement."""
+        self.fleet.restore(device_id)
+
+    def evict_device(self, device_id):
+        """Permanently remove one device from placement; purge its plans."""
+        self.fleet.evict(device_id)
+        self.pool.purge_device(device_id)
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -625,6 +897,13 @@ class TransformService:
             f"{s.blocks_executed} blocks, {s.shards_executed} shards",
             f"  plans: {s.plans_created} created, {s.plan_cache_hits} pool hits, "
             f"{s.setpts_skipped} set_pts skipped",
+            f"  resilience: {s.retries} retries, {s.breaker_trips} breaker "
+            f"trips, {s.requests_shed} shed, {s.deadline_exceeded} "
+            f"deadline-exceeded, {1e3 * s.degraded_seconds:.3f} ms degraded",
+            *([f"  failures: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(s.failures_by_type.items()))]
+              if s.failures_by_type else []),
             *tuning_lines,
             f"  modelled: makespan {1e3 * self.makespan():.3f} ms, "
             f"{self.throughput_rps():.0f} req/s, exec util [{util}]",
@@ -651,10 +930,10 @@ class TransformService:
                 f"{len(self._leased)} leased plan(s) not released; "
                 "call release_plan before close"
             )
-        if self._queue:
+        if self._queue or self._shed:
             raise RuntimeError(
-                f"{len(self._queue)} submitted request(s) not served; "
-                "call flush before close"
+                f"{len(self._queue) + len(self._shed)} submitted request(s) "
+                "not served; call flush before close"
             )
         self.pool.clear()
         self._queue = []

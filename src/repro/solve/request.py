@@ -73,6 +73,10 @@ class SolveRequest:
         Pipe--Menon iterations when ``weights="pipe-menon"``.
     tag : object
         Opaque token echoed on the result.
+    deadline_s : float, optional
+        Modelled-time budget (seconds) for the solve's device work; a solve
+        whose modelled ``exec`` cost exceeds it raises
+        :class:`~repro.service.DeadlineExceededError`.
     """
 
     n_modes: tuple
@@ -91,6 +95,7 @@ class SolveRequest:
     shift: float = 0.0
     dcf_iters: int = 8
     tag: object = None
+    deadline_s: float = None
 
     def __post_init__(self):
         self.n_modes = tuple(int(n) for n in np.atleast_1d(self.n_modes))
@@ -167,6 +172,13 @@ class SolveRequest:
         if self.shift < 0 or not np.isfinite(self.shift):
             raise ValueError(f"shift must be finite and >= 0, got {self.shift}")
         self.dcf_iters = int(self.dcf_iters)
+        if self.deadline_s is not None:
+            self.deadline_s = float(self.deadline_s)
+            if not np.isfinite(self.deadline_s) or self.deadline_s <= 0.0:
+                raise ValueError(
+                    f"deadline_s must be a finite positive budget, "
+                    f"got {self.deadline_s}"
+                )
 
     def points(self):
         """The per-dimension coordinate arrays as a list."""
@@ -191,7 +203,8 @@ class SolveRequest:
             precision=self.precision, isign=self.isign, backend=self.backend,
             weights=weights, normal=self.normal, tol=self.tol,
             maxiter=self.maxiter, shift=self.shift, dcf_iters=self.dcf_iters,
-            tag=self.tag if tag is None else tag, **kwargs,
+            tag=self.tag if tag is None else tag,
+            deadline_s=self.deadline_s, **kwargs,
         )
 
 
@@ -325,6 +338,13 @@ def execute_solve(request, service=None, device=None):
         "h2d_bytes": int(rows.nbytes + sum(p.nbytes for p in points)),
         "d2h_bytes": int(len(rows) * n_image * cplx_size),
     }
+    if request.deadline_s is not None and modelled["exec"] > request.deadline_s:
+        from ..service.resilience import DeadlineExceededError
+
+        raise DeadlineExceededError(
+            f"solve's modelled device time {modelled['exec']:.6f}s exceeds "
+            f"deadline_s={request.deadline_s}"
+        )
     x = np.stack(solutions) if request.batched else solutions[0]
     cplx = Precision.parse(request.precision).complex_dtype
     return SolveResult(

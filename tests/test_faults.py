@@ -1,0 +1,542 @@
+"""Resilience-layer tests: fault injection, breakers, retry/deadline/shedding.
+
+Covers the deterministic :class:`repro.faults.FaultInjector`, the fleet's
+circuit breakers and admission control, the service's retry / deadline /
+load-shedding / degraded-mode behaviour, and the chaos property test:
+under a randomized seeded fault schedule, every completed request is
+numerically *identical* to the fault-free run, and the whole failure
+bookkeeping is reproducible under ``REPRO_FAULT_SEED``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BreakerState, DeviceFleet
+from repro.faults import (
+    DeviceFaultError,
+    DeviceLostError,
+    DeviceOOMError,
+    FaultInjector,
+    FaultSpec,
+    TransientKernelError,
+    fault_seed_from_env,
+)
+from repro.gpu.device import Device
+from repro.service import (
+    DeadlineExceededError,
+    PlanPool,
+    RetryPolicy,
+    ServiceOverloadedError,
+    TransformService,
+)
+
+
+class DummyPlan:
+    def __init__(self):
+        self.destroyed = False
+
+    def destroy(self):
+        self.destroyed = True
+
+
+# --------------------------------------------------------------------------- #
+# injector units
+# --------------------------------------------------------------------------- #
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("meteor", rate=0.1)
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("transient", rate=1.5)
+        with pytest.raises(ValueError, match="latency_multiplier"):
+            FaultSpec("slow", rate=0.1, latency_multiplier=0.5)
+        with pytest.raises(ValueError, match="after_events"):
+            FaultSpec("transient", rate=0.1, after_events=-1)
+
+    def test_device_restriction(self):
+        spec = FaultSpec("oom", rate=0.5, device_ids=[1, 3])
+        assert spec.device_ids == (1, 3)
+        assert spec.applies_to(3) and not spec.applies_to(0)
+        assert FaultSpec("oom", rate=0.5).applies_to(7)
+
+
+class TestFaultInjector:
+    @staticmethod
+    def _schedule(seed, rate=0.3, n=60):
+        inj = FaultInjector([FaultSpec("transient", rate=rate)], seed=seed)
+        dev = Device()
+        inj.attach([dev])
+        fired = []
+        for i in range(n):
+            try:
+                inj.on_kernel_launch(dev, f"k{i}")
+                fired.append(0)
+            except TransientKernelError:
+                fired.append(1)
+        return fired
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(5) == self._schedule(5)
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(5) != self._schedule(6)
+
+    def test_seed_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "99")
+        assert fault_seed_from_env() == 99
+        assert FaultInjector().seed == 99
+        assert RetryPolicy().seed == 99
+        monkeypatch.delenv("REPRO_FAULT_SEED")
+        assert fault_seed_from_env(default=3) == 3
+
+    def test_after_events_threshold(self):
+        inj = FaultInjector(
+            [FaultSpec("transient", rate=1.0, after_events=3)], seed=0
+        )
+        dev = Device()
+        inj.attach([dev])
+        for i in range(3):
+            inj.on_kernel_launch(dev, f"warmup{i}")
+        with pytest.raises(TransientKernelError):
+            inj.on_kernel_launch(dev, "k")
+
+    def test_oom_is_memoryerror(self):
+        inj = FaultInjector([FaultSpec("oom", rate=1.0)], seed=0)
+        dev = Device()
+        inj.attach([dev])
+        with pytest.raises(MemoryError):
+            inj.on_kernel_launch(dev, "spread")
+        assert inj.stats.injected["oom"] == 1
+
+    def test_slow_multiplies_stream_ops(self):
+        inj = FaultInjector(
+            [FaultSpec("slow", rate=1.0, latency_multiplier=3.0)], seed=0
+        )
+        dev = Device()
+        inj.attach([dev])
+        stream = dev.create_stream()
+        event = stream.enqueue("exec", 1.0, "kernel")
+        assert event.time == pytest.approx(3.0)
+        assert inj.stats.injected["slow"] == 1
+
+    def test_death_kills_device_until_reset(self):
+        inj = FaultInjector([FaultSpec("death", rate=1.0)], seed=0)
+        dev = Device()
+        inj.attach([dev])
+        with pytest.raises(DeviceLostError):
+            inj.on_kernel_launch(dev, "spread")
+        assert not dev.alive and inj.is_dead(dev.device_id)
+        stream = dev.create_stream()
+        with pytest.raises(DeviceLostError):
+            stream.enqueue("exec", 1.0)
+        dev.reset()
+        assert dev.alive  # full reset revives the hardware
+        inj.reset()
+        assert not inj.is_dead(dev.device_id)
+
+
+# --------------------------------------------------------------------------- #
+# fleet health / breakers
+# --------------------------------------------------------------------------- #
+class TestFleetHealth:
+    def test_breaker_trips_after_threshold(self):
+        fleet = DeviceFleet(n_devices=2, failure_threshold=3)
+        for _ in range(2):
+            assert not fleet.record_failure(0)
+        assert fleet.breaker_state(0) is BreakerState.CLOSED
+        assert fleet.record_failure(0)
+        assert fleet.breaker_state(0) is BreakerState.OPEN
+        assert not fleet.is_admissible(0)
+        assert [d.device_id for d in fleet.admissible()] == [1]
+        assert fleet.health[0].trips == 1
+
+    def test_half_open_probe_cycle(self):
+        fleet = DeviceFleet(n_devices=2, failure_threshold=1,
+                            breaker_cooldown_s=0.05)
+        fleet.record_failure(0)
+        assert fleet.breaker_state(0) is BreakerState.OPEN
+        # Advance modelled fleet time past the cooldown.
+        fleet.next_stream(fleet.device(1)).enqueue("exec", 1.0)
+        assert fleet.breaker_state(0) is BreakerState.HALF_OPEN
+        assert fleet.is_admissible(0)
+        # A failed probe re-opens (and restarts the cooldown).
+        assert fleet.record_failure(0)
+        assert fleet.breaker_state(0) is BreakerState.OPEN
+        fleet.next_stream(fleet.device(1)).enqueue("exec", 1.0)
+        assert fleet.breaker_state(0) is BreakerState.HALF_OPEN
+        fleet.record_success(0)
+        assert fleet.breaker_state(0) is BreakerState.CLOSED
+
+    def test_success_resets_consecutive_failures(self):
+        fleet = DeviceFleet(n_devices=1, failure_threshold=3)
+        fleet.record_failure(0)
+        fleet.record_failure(0)
+        fleet.record_success(0)
+        assert fleet.health[0].consecutive_failures == 0
+        assert not fleet.record_failure(0)
+
+    def test_drain_evict_restore(self):
+        fleet = DeviceFleet(n_devices=2)
+        fleet.drain(0)
+        assert not fleet.is_admissible(0)
+        fleet.restore(0)
+        assert fleet.is_admissible(0)
+        fleet.evict(0)
+        assert not fleet.is_admissible(0)
+        assert [d.device_id for d in fleet.ranked()] == [1]
+
+    def test_ranked_falls_back_then_raises(self):
+        fleet = DeviceFleet(n_devices=2, failure_threshold=1)
+        fleet.record_failure(0)
+        fleet.record_failure(1)
+        # No admissible device: alive non-evicted ones still serve (degraded).
+        assert len(fleet.ranked()) == 2
+        fleet.evict(0)
+        fleet.evict(1)
+        with pytest.raises(DeviceLostError):
+            fleet.ranked()
+        with pytest.raises(DeviceLostError):
+            fleet.least_loaded()
+
+    def test_reset_clears_health(self):
+        fleet = DeviceFleet(n_devices=1, failure_threshold=1)
+        fleet.record_failure(0)
+        fleet.evict(0)
+        fleet.reset()
+        assert fleet.is_admissible(0)
+        assert fleet.health[0].failures == 0
+
+
+# --------------------------------------------------------------------------- #
+# retry policy
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError, match="backoff_multiplier"):
+            RetryPolicy(backoff_multiplier=0.5)
+
+    def test_backoff_deterministic_and_exponential(self):
+        p = RetryPolicy(base_backoff_s=1e-3, backoff_multiplier=2.0,
+                        max_backoff_s=1.0, jitter=0.0, seed=0)
+        assert p.backoff_s(1, "r") == pytest.approx(1e-3)
+        assert p.backoff_s(2, "r") == pytest.approx(2e-3)
+        jittered = RetryPolicy(jitter=0.5, seed=1)
+        assert jittered.backoff_s(1, "a") == jittered.backoff_s(1, "a")
+        assert jittered.backoff_s(1, "a") != jittered.backoff_s(1, "b")
+
+    def test_backoff_capped(self):
+        p = RetryPolicy(base_backoff_s=1.0, max_backoff_s=1.5, jitter=0.0)
+        assert p.backoff_s(5, "r") == pytest.approx(1.5)
+
+    def test_should_retry_taxonomy(self):
+        p = RetryPolicy()
+        assert p.should_retry(TransientKernelError("x"))
+        assert p.should_retry(DeviceOOMError("x"))
+        assert p.should_retry(DeviceLostError("x"))
+        assert not p.should_retry(ValueError("x"))
+        assert not p.should_retry(RuntimeError("boom"))
+
+
+# --------------------------------------------------------------------------- #
+# service resilience behaviour
+# --------------------------------------------------------------------------- #
+def _submit_one(svc, i=0, m=400, **kwargs):
+    rng = np.random.default_rng(i)
+    x = rng.uniform(-np.pi, np.pi, m)
+    c = rng.normal(size=m) + 1j * rng.normal(size=m)
+    return svc.submit(nufft_type=1, n_modes=(16,), data=c, x=x, tag=i,
+                      **kwargs)
+
+
+class TestServiceResilience:
+    def test_retries_absorb_transient_faults(self):
+        inj = FaultInjector([FaultSpec("transient", rate=0.15)], seed=11)
+        svc = TransformService(n_devices=2, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=10))
+        for i in range(12):
+            _submit_one(svc, i)
+        results = svc.flush()
+        assert all(r.error is None for r in results)
+        assert inj.stats.injected.get("transient", 0) > 0
+        assert svc.stats.retries > 0
+        assert any(r.attempts > 1 for r in results)
+        svc.close()
+
+    def test_failure_carries_type_and_message(self):
+        inj = FaultInjector([FaultSpec("oom", rate=1.0)], seed=0)
+        svc = TransformService(n_devices=1, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=2))
+        _submit_one(svc)
+        res = svc.flush()[0]
+        assert isinstance(res.error, DeviceOOMError)
+        assert res.error_type == "DeviceOOMError"
+        assert "out of memory" in res.error_message
+        assert res.attempts == 2
+        assert svc.stats.failures_by_type["DeviceOOMError"] == 2
+        assert svc.stats.requests_failed == 1
+        svc.close()
+
+    def test_app_errors_are_not_retried(self, monkeypatch):
+        from repro.core.plan import Plan
+
+        svc = TransformService(n_devices=1,
+                               retry=RetryPolicy(max_attempts=5))
+        monkeypatch.setattr(
+            Plan, "execute",
+            lambda self, *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        _submit_one(svc)
+        res = svc.flush()[0]
+        assert res.error_type == "RuntimeError" and res.attempts == 1
+        assert svc.stats.retries == 0
+        monkeypatch.undo()
+        svc.close()
+
+    def test_device_death_is_rerouted_without_errors(self):
+        inj = FaultInjector(
+            [FaultSpec("death", rate=1.0, device_ids=(1,), after_events=20)],
+            seed=7,
+        )
+        svc = TransformService(n_devices=4, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=6))
+        for i in range(32):
+            _submit_one(svc, i)
+        results = svc.flush()
+        assert all(r.error is None for r in results)
+        assert inj.is_dead(1)
+        assert svc.fleet.health[1].evicted
+        # Placement never returns to the dead device.
+        for i in range(32, 40):
+            _submit_one(svc, i)
+        assert all(r.device_id != 1 for r in svc.flush())
+        svc.close()
+
+    def test_total_device_loss_fails_cleanly(self):
+        inj = FaultInjector([FaultSpec("death", rate=1.0)], seed=3)
+        svc = TransformService(n_devices=2, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=4))
+        _submit_one(svc, 0)
+        res = svc.flush()[0]
+        assert isinstance(res.error, DeviceLostError)
+        # The service remains usable: further work fails fast, close is clean.
+        _submit_one(svc, 1)
+        res2 = svc.flush()[0]
+        assert isinstance(res2.error, DeviceLostError)
+        svc.close()
+
+    def test_degraded_mode_serves_on_open_breakers(self):
+        svc = TransformService(n_devices=2)
+        for d in (0, 1):
+            for _ in range(svc.fleet.failure_threshold):
+                svc.fleet.record_failure(d)
+        assert not svc.fleet.admissible()
+        _submit_one(svc)
+        res = svc.flush()[0]
+        assert res.error is None and res.degraded
+        assert svc.stats.degraded_shards >= 1
+        assert svc.stats.degraded_seconds > 0.0
+        svc.close()
+
+    def test_deadline_exceeded_at_completion(self):
+        svc = TransformService(n_devices=1)
+        _submit_one(svc, deadline_s=1e-12)
+        res = svc.flush()[0]
+        assert isinstance(res.error, DeadlineExceededError)
+        assert res.error_type == "DeadlineExceededError"
+        assert svc.stats.deadline_exceeded == 1
+        svc.close()
+
+    def test_deadline_aborts_retry_chain(self):
+        inj = FaultInjector([FaultSpec("transient", rate=1.0)], seed=0)
+        svc = TransformService(
+            n_devices=1, fault_injector=inj,
+            retry=RetryPolicy(max_attempts=50, base_backoff_s=1e-3,
+                              jitter=0.0),
+        )
+        _submit_one(svc, deadline_s=3e-3)
+        res = svc.flush()[0]
+        assert isinstance(res.error, DeadlineExceededError)
+        assert res.attempts < 50
+        svc.close()
+
+    def test_queue_sheds_lowest_priority(self):
+        svc = TransformService(max_queue_depth=2)
+        _submit_one(svc, 0, priority=0)
+        _submit_one(svc, 1, priority=1)
+        _submit_one(svc, 2, priority=2)  # sheds the queued priority-0 request
+        with pytest.raises(ServiceOverloadedError):
+            _submit_one(svc, 3, priority=0)  # incoming is lowest: raises
+        results = svc.flush()
+        assert len(results) == 3
+        assert isinstance(results[0].error, ServiceOverloadedError)
+        assert results[0].error_type == "ServiceOverloadedError"
+        assert results[1].error is None and results[2].error is None
+        assert svc.stats.requests_shed == 2
+        svc.close()
+
+    def test_solve_deadline(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-np.pi, np.pi, 64)
+        d = rng.normal(size=64) + 1j * rng.normal(size=64)
+        svc = TransformService()
+        with pytest.raises(DeadlineExceededError):
+            svc.solve(n_modes=(8,), data=d, x=x, weights=None, maxiter=3,
+                      deadline_s=1e-12)
+        svc.close()
+
+    def test_solve_retries_transient_faults(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-np.pi, np.pi, 64)
+        d = rng.normal(size=64) + 1j * rng.normal(size=64)
+        base = TransformService()
+        ref = base.solve(n_modes=(8,), data=d, x=x, weights=None, maxiter=5)
+        base.close()
+        inj = FaultInjector([FaultSpec("transient", rate=0.02)], seed=21)
+        svc = TransformService(n_devices=2, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=10))
+        res = svc.solve(n_modes=(8,), data=d, x=x, weights=None, maxiter=5)
+        assert np.array_equal(res.x, ref.x)
+        svc.close()
+
+    def test_report_mentions_resilience(self):
+        svc = TransformService()
+        assert "resilience:" in svc.report()
+        svc.close()
+
+
+# --------------------------------------------------------------------------- #
+# pool purging (satellite: no reuse of plans on evicted/drained devices)
+# --------------------------------------------------------------------------- #
+class TestPoolPurge:
+    def test_purge_device_destroys_only_matching(self):
+        pool = PlanPool(8)
+        e0 = pool.make_entry(DummyPlan(), ("k", 0))
+        e1 = pool.make_entry(DummyPlan(), ("k", 1))
+        pool.release(e0)
+        pool.release(e1)
+        assert pool.purge_device(0) == 1
+        assert e0.plan.destroyed and not e1.plan.destroyed
+        assert pool.n_idle == 1
+
+    def test_release_plan_on_evicted_device_destroys(self):
+        svc = TransformService(n_devices=2)
+        plan = svc.lease_plan(1, (16,), n_trans=1)
+        device_id = plan.device.device_id
+        svc.evict_device(device_id)
+        svc.release_plan(plan)
+        assert plan._destroyed
+        assert svc.pool.n_idle == 0
+        svc.close()
+
+    def test_release_plan_on_drained_device_destroys(self):
+        svc = TransformService(n_devices=2)
+        plan = svc.lease_plan(1, (16,), n_trans=1)
+        device_id = plan.device.device_id
+        svc.drain_device(device_id)
+        svc.release_plan(plan)
+        assert plan._destroyed
+        # The drained device takes no new placements until restored.
+        assert all(d.device_id != device_id for d in svc.fleet.admissible())
+        svc.restore_device(device_id)
+        assert svc.fleet.is_admissible(device_id)
+        svc.close()
+
+    def test_eviction_purges_pooled_plans(self):
+        svc = TransformService(n_devices=1)
+        _submit_one(svc)
+        svc.flush()
+        assert svc.pool.n_idle == 1
+        svc.evict_device(0)
+        assert svc.pool.n_idle == 0
+        svc.close()
+
+
+# --------------------------------------------------------------------------- #
+# chaos property test
+# --------------------------------------------------------------------------- #
+def _run_workload(svc, n_transforms=92, n_solves=8, waves=4):
+    """Mixed transform/solve workload; returns (results, solve_x, errors)."""
+    results, solve_x, solve_errors = {}, {}, {}
+    per_wave = n_transforms // waves
+    for wave in range(waves):
+        for i in range(wave * per_wave, (wave + 1) * per_wave):
+            group = i // 3  # ~3 requests share each point set
+            rp = np.random.default_rng(1000 + group)
+            x = rp.uniform(-np.pi, np.pi, 200)
+            rd = np.random.default_rng(2000 + i)
+            c = rd.normal(size=200) + 1j * rd.normal(size=200)
+            svc.submit(nufft_type=1, n_modes=(16,), data=c, x=x, tag=i)
+        for res in svc.flush():
+            results[res.tag] = res
+        for j in range(wave * (n_solves // waves),
+                       (wave + 1) * (n_solves // waves)):
+            rs = np.random.default_rng(3000 + j)
+            x = rs.uniform(-np.pi, np.pi, 64)
+            d = rs.normal(size=64) + 1j * rs.normal(size=64)
+            try:
+                sr = svc.solve(n_modes=(8,), data=d, x=x, weights=None,
+                               maxiter=5, tag=j)
+                solve_x[j] = sr.x
+            except Exception as exc:  # exhausted retries: allowed, recorded
+                solve_errors[j] = exc
+    return results, solve_x, solve_errors
+
+
+CHAOS_SPECS = [
+    FaultSpec("transient", rate=0.05),
+    FaultSpec("oom", rate=0.02),
+    FaultSpec("slow", rate=0.02, latency_multiplier=3.0),
+    FaultSpec("death", rate=1.0, device_ids=(3,), after_events=120),
+]
+
+
+class TestChaosProperty:
+    def _chaos_run(self, seed=42):
+        inj = FaultInjector(CHAOS_SPECS, seed=seed)
+        svc = TransformService(n_devices=4, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=8, seed=seed))
+        out = _run_workload(svc)
+        svc.close()
+        return out, svc.stats, inj.stats
+
+    def test_completed_requests_bit_identical_to_fault_free(self):
+        base = TransformService(n_devices=4)
+        ref_results, ref_solve_x, _ = _run_workload(base)
+        base.close()
+        (results, solve_x, solve_errors), stats, fstats = self._chaos_run()
+        assert len(results) == len(ref_results)
+        # The schedule must actually have injected faults for this to mean
+        # anything.
+        assert fstats.events > 0 and sum(fstats.injected.values()) > 0
+        for tag, res in results.items():
+            if res.error is not None:
+                assert not isinstance(res.error, (ValueError, TypeError))
+                continue
+            assert np.array_equal(res.output, ref_results[tag].output), tag
+        for j, x in solve_x.items():
+            assert np.array_equal(x, ref_solve_x[j]), j
+
+    def test_failure_counters_deterministic_under_seed(self):
+        (_, _, errors1), stats1, fstats1 = self._chaos_run(seed=42)
+        (_, _, errors2), stats2, fstats2 = self._chaos_run(seed=42)
+        assert stats1 == stats2
+        assert fstats1.events == fstats2.events
+        assert fstats1.injected == fstats2.injected
+        assert set(errors1) == set(errors2)
+
+    def test_service_usable_after_total_device_loss(self):
+        inj = FaultInjector([FaultSpec("death", rate=1.0)], seed=5)
+        svc = TransformService(n_devices=3, fault_injector=inj,
+                               retry=RetryPolicy(max_attempts=3))
+        for i in range(6):
+            _submit_one(svc, i)
+        results = svc.flush()
+        assert all(isinstance(r.error, DeviceLostError) for r in results)
+        # Still answers (with errors) and closes cleanly.
+        _submit_one(svc, 99)
+        assert isinstance(svc.flush()[0].error, DeviceLostError)
+        svc.close()

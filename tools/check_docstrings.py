@@ -28,6 +28,7 @@ if SRC not in sys.path:
 AUDITED = {
     "repro": {"require_examples": False},
     "repro.core.simple": {"require_examples": True},
+    "repro.faults": {"require_examples": False},
     "repro.service": {"require_examples": False},
     "repro.solve": {"require_examples": False},
     "repro.tuning": {"require_examples": False},
