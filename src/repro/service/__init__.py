@@ -24,7 +24,13 @@ transforms amortize their setup.  This package applies that amortization to a
   circuit breakers steer placement away from flaky GPUs, ``deadline_s``
   budgets classify slow requests as timeouts, and a bounded intake queue
   (``max_queue_depth``) sheds the lowest-priority work with
-  :class:`ServiceOverloadedError` under overload.
+  :class:`ServiceOverloadedError` under overload, and
+* offers an async micro-batching front-end (:class:`AsyncFrontend`): open-loop
+  arrivals collect in bounded windows that fuse same-signature requests into
+  ``n_trans`` blocks, a deficit round-robin scheduler gives tenants weighted
+  fair shares (shedding within each tenant's own bounded sub-queue via
+  :class:`FairShedPolicy`), and per-tenant / per-signature p50/p95/p99
+  latency percentiles land in :class:`ServiceStats`.
 
 Quickstart (mirrors the :class:`~repro.core.plan.Plan` quickstart)
 ------------------------------------------------------------------
@@ -55,9 +61,15 @@ its ``set_pts``) was reused, and the modelled engine seconds its block added;
 per-device utilization.
 """
 
+from .frontend import AsyncFrontend, BatchWindow, PendingRequest
 from .pool import PlanPool, PooledPlan
 from .request import TransformRequest, TransformResult
-from .resilience import DeadlineExceededError, RetryPolicy, ServiceOverloadedError
+from .resilience import (
+    DeadlineExceededError,
+    FairShedPolicy,
+    RetryPolicy,
+    ServiceOverloadedError,
+)
 from .service import ServiceStats, TransformService
 
 __all__ = [
@@ -67,7 +79,11 @@ __all__ = [
     "TransformResult",
     "ServiceStats",
     "TransformService",
+    "AsyncFrontend",
+    "BatchWindow",
+    "PendingRequest",
     "RetryPolicy",
+    "FairShedPolicy",
     "ServiceOverloadedError",
     "DeadlineExceededError",
 ]

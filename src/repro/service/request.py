@@ -84,10 +84,16 @@ class TransformRequest:
         Type-3 target frequencies, one 1-D array per dimension.
     ``tag``
         Opaque caller token echoed on the :class:`TransformResult`.
+    ``tenant``
+        Caller identity for the async front-end's fair-share scheduling and
+        per-tenant latency accounting (``"default"`` when unset).  Tenants
+        share fused blocks freely -- the tenant id never enters the plan or
+        points keys.
     ``priority``
-        Load-shedding rank (higher = more important).  When the service's
-        bounded intake queue overflows, the *lowest*-priority queued request
-        is shed first.
+        Load-shedding rank (higher = more important), an integral value.
+        When a bounded intake queue overflows, the *lowest*-priority queued
+        request *of the same shedding scope* (the whole queue for the
+        service, the tenant sub-queue for the front-end) is shed first.
     ``deadline_s``
         Optional modelled-time budget (seconds) from the request's first
         dispatch; a request whose completion would land past it fails with
@@ -117,6 +123,7 @@ class TransformRequest:
     backend: str = "auto"
     isign: int = None
     tag: object = None
+    tenant: str = "default"
     priority: int = 0
     deadline_s: float = None
     _points_digest: str = field(default=None, repr=False, compare=False)
@@ -145,7 +152,22 @@ class TransformRequest:
         # Normalize isign eagerly (front-door validation): None resolves to
         # the per-type convention, anything else must be +-1.
         self.isign = Opts(isign=self.isign).resolve_isign(self.nufft_type)
-        self.priority = int(self.priority)
+        self.tenant = str(self.tenant)
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty identifier")
+        # Reject non-integral priorities (the n_trans rule): int() would
+        # silently truncate 2.5 -> 2 and coerce True -> 1, scrambling the
+        # shed order the caller asked for.
+        if isinstance(self.priority, bool):
+            raise ValueError(
+                f"priority must be an integral rank, got {self.priority!r}"
+            )
+        priority_f = float(self.priority)
+        if not np.isfinite(priority_f) or priority_f != int(priority_f):
+            raise ValueError(
+                f"priority must be an integral rank, got {self.priority!r}"
+            )
+        self.priority = int(priority_f)
         if self.deadline_s is not None:
             self.deadline_s = float(self.deadline_s)
             if not np.isfinite(self.deadline_s) or self.deadline_s <= 0.0:
@@ -250,6 +272,28 @@ class TransformRequest:
             self._points_digest = h.hexdigest()
         return self._points_digest
 
+    def signature(self):
+        """Micro-batching fusion key: ``(plan_key(), points_key())``.
+
+        Requests with equal signatures are the same transform geometry over
+        the same point set -- exactly what the async front-end collects into
+        one bounded window and fuses into a single ``n_trans`` block.
+        """
+        return (self.plan_key(), self.points_key())
+
+    def signature_label(self):
+        """Compact human-readable signature for reports and stats keys.
+
+        E.g. ``"t1:64x64:eps1e-06:single:isign-1:pts=1a2b3c4d"`` -- the
+        geometry fields plus the first 8 hex digits of the points digest,
+        the key :class:`~repro.service.ServiceStats` breaks pool hit/miss
+        counts and latency percentiles down by.
+        """
+        modes = (f"{self.ndim}d" if self.nufft_type == 3
+                 else "x".join(str(n) for n in self.n_modes))
+        return (f"t{self.nufft_type}:{modes}:eps{self.eps:g}:{self.precision}"
+                f":isign{self.isign:+d}:pts={self.points_key()[:8]}")
+
     def setpts_kwargs(self):
         """Keyword arguments for ``Plan.set_pts``."""
         kwargs = {}
@@ -297,6 +341,17 @@ class TransformResult:
         engine (``h2d`` / ``exec`` / ``d2h``) plus ``plan_setup``.
     completed_at : float
         Timeline instant (seconds) the block's d2h finished.
+    tenant : str or None
+        Tenant the request was accounted under (front-end servings only).
+    queue_wait_s : float or None
+        Modelled seconds spent in the tenant sub-queue before the fair-share
+        scheduler admitted the request to a batching window (front-end only).
+    batch_wait_s : float or None
+        Modelled seconds spent in the open batching window before its fused
+        block dispatched (front-end only).
+    e2e_s : float or None
+        Modelled arrival-to-completion latency (front-end only; ``None`` on
+        failures, which never completed).
     """
 
     tag: object = None
@@ -312,3 +367,7 @@ class TransformResult:
     block_size: int = 1
     modelled_seconds: dict = field(default_factory=dict)
     completed_at: float = 0.0
+    tenant: str = None
+    queue_wait_s: float = None
+    batch_wait_s: float = None
+    e2e_s: float = None

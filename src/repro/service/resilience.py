@@ -8,6 +8,11 @@ faults under a :class:`RetryPolicy` with deterministic exponential backoff,
 (c) shedding the lowest-priority work with :class:`ServiceOverloadedError`
 once its bounded intake queue overflows.
 
+The async front-end (:mod:`repro.service.frontend`) sheds *within its
+fairness discipline*: each tenant's sub-queue is bounded by a
+:class:`FairShedPolicy`, so an overloaded tenant sheds its own
+lowest-priority work and can never push another tenant's requests out.
+
 Everything here is deterministic: backoff jitter is a ``blake2b`` hash of
 ``(seed, token, attempt)`` rather than a live RNG, so two runs of the same
 request sequence with the same ``REPRO_FAULT_SEED`` back off identically --
@@ -22,7 +27,8 @@ from dataclasses import dataclass
 
 from ..faults import DeviceFaultError, fault_seed_from_env
 
-__all__ = ["RetryPolicy", "ServiceOverloadedError", "DeadlineExceededError"]
+__all__ = ["RetryPolicy", "FairShedPolicy", "ServiceOverloadedError",
+           "DeadlineExceededError"]
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -42,6 +48,57 @@ class DeadlineExceededError(TimeoutError):
     modelled timeline; they classify slow completions (stuck launches, long
     retry chains) as timeouts rather than letting them occupy devices.
     """
+
+
+@dataclass(frozen=True)
+class FairShedPolicy:
+    """Per-tenant bounded-queue shedding for the async front-end.
+
+    The service's global ``max_queue_depth`` sheds the lowest-priority
+    request *anywhere* in the queue -- correct for a single shared queue,
+    but under multi-tenant fair share it would let one flooding tenant evict
+    everyone else's low-priority work.  This policy bounds each tenant's
+    sub-queue *separately*: overflow sheds the lowest-priority request of
+    the overflowing tenant only, so backpressure lands on the caller who
+    created it.
+
+    Parameters
+    ----------
+    max_pending : int
+        Maximum requests a single tenant may have waiting in its sub-queue
+        (admitted-to-window and in-flight work does not count).
+
+    The victim rank is ``(priority, -seq)`` -- the service's rule: among
+    equal priorities the *newest* request sheds first, so an incoming
+    request loses ties and a queued victim is only ever chosen when it ranks
+    strictly lower than the incoming one.
+    """
+
+    max_pending: int = 256
+
+    def __post_init__(self):
+        if int(self.max_pending) < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        object.__setattr__(self, "max_pending", int(self.max_pending))
+
+    def pick_victim(self, pending, incoming_seq, incoming_request):
+        """Victim index in ``pending``, or ``None`` when the incoming loses.
+
+        ``pending`` is a sequence of objects carrying ``seq`` and
+        ``request`` attributes (the front-end's queued entries).  Returns
+        the index of the queued request to shed, or ``None`` when the
+        incoming request itself ranks lowest (it should be shed unseated).
+        """
+        victim_i = None
+        victim_rank = (incoming_request.priority, -int(incoming_seq))
+        for i, entry in enumerate(pending):
+            rank = (entry.request.priority, -entry.seq)
+            if rank < victim_rank:
+                victim_rank = rank
+                victim_i = i
+        return victim_i
 
 
 @dataclass(frozen=True)

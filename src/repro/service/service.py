@@ -18,7 +18,16 @@ from .pool import PlanPool
 from .request import TransformRequest, TransformResult, plan_key_for
 from .resilience import DeadlineExceededError, RetryPolicy, ServiceOverloadedError
 
-__all__ = ["ServiceStats", "TransformService"]
+__all__ = ["ServiceStats", "TransformService", "LATENCY_KINDS",
+           "LATENCY_PERCENTILES"]
+
+
+#: Percentile marks reported for every latency kind.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+#: Latency kinds the front-end records per request: time in the tenant
+#: sub-queue, time in the open batching window, and arrival-to-completion.
+LATENCY_KINDS = ("queue_wait", "batch_wait", "e2e")
 
 
 @dataclass
@@ -32,6 +41,19 @@ class ServiceStats:
     ``degraded_shards`` / ``degraded_seconds`` (work served with every
     device inadmissible) and ``failures_by_type`` (exception class name ->
     count, every failure observed, including ones later retried away).
+
+    The QoS surface added for the async front-end:
+
+    * ``pool_by_signature`` -- per request signature (see
+      :meth:`~repro.service.TransformRequest.signature_label`), the PlanPool
+      hit/miss counts and skipped ``set_pts`` executions, so batching-window
+      wins vs. pool churn are diagnosable per signature from one report;
+    * ``shed_by_tenant`` -- requests shed per tenant (front-end fair-share
+      shedding; the aggregate stays in ``requests_shed``);
+    * latency samples recorded via :meth:`record_latency` and summarized by
+      :meth:`latency_percentiles` (p50/p95/p99 and max of queue-wait,
+      batch-wait and end-to-end modelled latency, per tenant and per
+      signature).
     """
 
     requests_submitted: int = 0
@@ -59,6 +81,104 @@ class ServiceStats:
     modelled_engine_seconds: dict = field(
         default_factory=lambda: {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
     )
+    pool_by_signature: dict = field(default_factory=dict)
+    shed_by_tenant: dict = field(default_factory=dict)
+    latency_samples: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # QoS accounting (per-signature pool events, latency percentiles)
+    # ------------------------------------------------------------------ #
+    def record_pool_event(self, signature, hit):
+        """Count one PlanPool lease outcome against ``signature``."""
+        entry = self.pool_by_signature.setdefault(
+            signature, {"hits": 0, "misses": 0, "setpts_skipped": 0}
+        )
+        entry["hits" if hit else "misses"] += 1
+
+    def record_setpts_skip(self, signature, n=1):
+        """Count ``n`` skipped ``set_pts`` executions against ``signature``."""
+        entry = self.pool_by_signature.setdefault(
+            signature, {"hits": 0, "misses": 0, "setpts_skipped": 0}
+        )
+        entry["setpts_skipped"] += int(n)
+
+    def record_shed(self, tenant=None):
+        """Count one shed request (optionally attributed to ``tenant``)."""
+        self.requests_shed += 1
+        if tenant is not None:
+            self.shed_by_tenant[tenant] = self.shed_by_tenant.get(tenant, 0) + 1
+
+    def record_latency(self, scope, name, kind, seconds):
+        """Append one modelled-latency sample.
+
+        ``scope`` is ``"tenant"`` or ``"signature"``, ``name`` the tenant id
+        or signature label, ``kind`` one of :data:`LATENCY_KINDS`.
+        """
+        if kind not in LATENCY_KINDS:
+            raise ValueError(f"kind must be one of {LATENCY_KINDS}, got {kind!r}")
+        bucket = self.latency_samples.setdefault((scope, name), {})
+        bucket.setdefault(kind, []).append(float(seconds))
+
+    def latency_percentiles(self, scope=None):
+        """Percentile summary of every recorded latency series.
+
+        Returns ``{name: {kind: {"n", "p50", "p95", "p99", "max"}}}`` when
+        ``scope`` (``"tenant"`` or ``"signature"``) is given, or the same
+        keyed by ``(scope, name)`` tuples when it is not.  Seconds
+        throughout; empty when nothing was recorded.
+        """
+        out = {}
+        for (sc, name), kinds in self.latency_samples.items():
+            if scope is not None and sc != scope:
+                continue
+            summary = {}
+            for kind, samples in kinds.items():
+                arr = np.asarray(samples, dtype=np.float64)
+                entry = {"n": int(arr.size), "max": float(arr.max())}
+                for p in LATENCY_PERCENTILES:
+                    entry[f"p{p}"] = float(np.percentile(arr, p))
+                summary[kind] = entry
+            out[name if scope is not None else (sc, name)] = summary
+        return out
+
+    def report(self, max_signatures=8):
+        """Per-signature pool breakdown + latency percentiles, as text lines.
+
+        The QoS block :meth:`TransformService.report` embeds: one line per
+        signature (pool hits/misses/skipped ``set_pts``, busiest first,
+        truncated past ``max_signatures``) and one line per tenant with
+        p50/p95/p99 end-to-end and queue-wait percentiles.  Returns a list
+        of lines (empty when nothing was recorded).
+        """
+        lines = []
+        by_traffic = sorted(
+            self.pool_by_signature.items(),
+            key=lambda kv: -(kv[1]["hits"] + kv[1]["misses"]),
+        )
+        for signature, counts in by_traffic[:max_signatures]:
+            lines.append(
+                f"  pool[{signature}]: {counts['hits']} hits, "
+                f"{counts['misses']} misses, "
+                f"{counts['setpts_skipped']} set_pts skipped"
+            )
+        if len(by_traffic) > max_signatures:
+            lines.append(f"  pool: ... {len(by_traffic) - max_signatures} "
+                         "more signature(s)")
+        for tenant, kinds in sorted(self.latency_percentiles("tenant").items()):
+            parts = []
+            for kind in ("e2e", "queue_wait"):
+                if kind in kinds:
+                    k = kinds[kind]
+                    parts.append(
+                        f"{kind} p50={1e3 * k['p50']:.3f} "
+                        f"p95={1e3 * k['p95']:.3f} p99={1e3 * k['p99']:.3f} ms"
+                    )
+            shed = self.shed_by_tenant.get(tenant, 0)
+            if shed:
+                parts.append(f"{shed} shed")
+            if parts:
+                lines.append(f"  qos[tenant={tenant}]: " + ", ".join(parts))
+        return lines
 
 
 class TransformService:
@@ -375,6 +495,8 @@ class TransformService:
                     self.stats.plans_created += 1
                 else:
                     self.stats.plan_cache_hits += 1
+                self.stats.record_pool_event(req0.signature_label(),
+                                             hit=not created)
                 self._execute_shard_inner(
                     shard, req0, n_trans, entry, created, results,
                     attempts=attempts, degraded=degraded,
@@ -463,6 +585,7 @@ class TransformService:
         setup_seconds = {"h2d": 0.0, "exec": 0.0, "d2h": 0.0}
         if setpts_reused:
             self.stats.setpts_skipped += n_trans
+            self.stats.record_setpts_skip(req0.signature_label(), n_trans)
         else:
             plan.set_pts(**req0.setpts_kwargs())
             entry.points_key = req0.points_key()
@@ -850,6 +973,28 @@ class TransformService:
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
+    def advance_time(self, now):
+        """Advance the modelled host clock to ``now`` (monotonic; seconds).
+
+        The async front-end lives on an *arrival* clock: requests land at
+        trace-defined instants, windows close at deadlines.  Before
+        dispatching a window that closed at ``now`` it advances the
+        service's host frontier here, so dispatch latency, backoff and
+        stream waits are charged from the arrival instant rather than from
+        wherever the last flush left the frontier.  Moving backwards is a
+        no-op -- modelled time never rewinds.
+        """
+        now = float(now)
+        if now > self._host_frontier:
+            self._host_frontier = now
+        if now > self._host_link_frontier:
+            self._host_link_frontier = now
+
+    @property
+    def host_time(self):
+        """Current modelled host-clock instant (seconds)."""
+        return self._host_frontier
+
     def makespan(self):
         """Modelled seconds to drain everything served so far."""
         return self.fleet.makespan()
@@ -905,6 +1050,7 @@ class TransformService:
                 for name, count in sorted(s.failures_by_type.items()))]
               if s.failures_by_type else []),
             *tuning_lines,
+            *s.report(),
             f"  modelled: makespan {1e3 * self.makespan():.3f} ms, "
             f"{self.throughput_rps():.0f} req/s, exec util [{util}]",
         ])

@@ -26,6 +26,7 @@ DOCTEST_MODULES = [
     "repro",
     "repro.core.simple",
     "repro.service",
+    "repro.service.frontend",
     "repro.solve",
     "repro.tuning",
     "repro.tuning.signature",

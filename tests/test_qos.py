@@ -1,0 +1,426 @@
+"""Tests of the async micro-batching front-end: bounded windows, per-tenant
+fair share, priority shedding and latency-percentile accounting."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AsyncFrontend,
+    FairShedPolicy,
+    ServiceOverloadedError,
+    TransformRequest,
+    TransformService,
+)
+
+RNG = np.random.default_rng(20260807)
+M = 3000
+X = RNG.uniform(-np.pi, np.pi, M)
+X2 = RNG.uniform(-np.pi, np.pi, M)  # a second point set (second signature)
+
+
+def _data(rng):
+    return rng.normal(size=M) + 1j * rng.normal(size=M)
+
+
+def _request(rng, x=X, tenant="default", priority=0, n_modes=(64,)):
+    return TransformRequest(nufft_type=1, n_modes=n_modes, data=_data(rng),
+                            x=x, tenant=tenant, priority=priority)
+
+
+def _frontend(**kwargs):
+    service_kwargs = kwargs.pop("service_kwargs", {})
+    service_kwargs.setdefault("charge_plan_creation", False)
+    return AsyncFrontend(TransformService(**service_kwargs), **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# request model: tenant + integral priority (the PR's bugfix)
+# --------------------------------------------------------------------------- #
+class TestRequestQoSFields:
+    def test_priority_rejects_fractional(self):
+        with pytest.raises(ValueError, match="integral"):
+            TransformRequest(nufft_type=1, n_modes=(8,), data=np.zeros(4),
+                             x=np.ones(4), priority=2.5)
+
+    def test_priority_rejects_bool(self):
+        with pytest.raises(ValueError, match="integral"):
+            TransformRequest(nufft_type=1, n_modes=(8,), data=np.zeros(4),
+                             x=np.ones(4), priority=True)
+
+    def test_priority_accepts_integral_float_and_negative(self):
+        req = TransformRequest(nufft_type=1, n_modes=(8,), data=np.zeros(4),
+                               x=np.ones(4), priority=3.0)
+        assert req.priority == 3 and isinstance(req.priority, int)
+        req = TransformRequest(nufft_type=1, n_modes=(8,), data=np.zeros(4),
+                               x=np.ones(4), priority=-2)
+        assert req.priority == -2
+
+    def test_tenant_validation_and_default(self):
+        req = TransformRequest(nufft_type=1, n_modes=(8,), data=np.zeros(4),
+                               x=np.ones(4))
+        assert req.tenant == "default"
+        with pytest.raises(ValueError, match="tenant"):
+            TransformRequest(nufft_type=1, n_modes=(8,), data=np.zeros(4),
+                             x=np.ones(4), tenant="")
+
+    def test_signature_groups_by_geometry_and_points(self):
+        rng = np.random.default_rng(0)
+        a = _request(rng)
+        b = _request(rng)                       # same geometry + points
+        c = _request(rng, x=X2)                 # different points
+        d = _request(rng, n_modes=(128,))       # different geometry
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+        assert a.signature() != d.signature()
+        assert a.signature_label() == b.signature_label()
+        assert a.signature_label() != c.signature_label()
+
+    def test_signature_ignores_tenant_and_priority(self):
+        rng = np.random.default_rng(0)
+        a = _request(rng, tenant="alice", priority=5)
+        b = _request(rng, tenant="bob", priority=-1)
+        assert a.signature() == b.signature()
+
+
+# --------------------------------------------------------------------------- #
+# windows: fusion, bit identity, close conditions
+# --------------------------------------------------------------------------- #
+class TestBatchingWindow:
+    def test_windowed_results_bit_identical_to_per_request(self):
+        """The core fusion property: a fused n_trans block returns exactly
+        the bytes per-request submission would, not merely close ones."""
+        rng = np.random.default_rng(7)
+        requests = [_request(rng, tenant=f"t{k % 3}") for k in range(12)]
+
+        fe = _frontend(window_s=1e-3, max_batch=12)
+        for k, req in enumerate(requests):
+            fe.submit(req, at_s=5e-5 * k)
+        fused = fe.drain()
+        fe.close()
+
+        fe1 = _frontend(window_s=0.0, max_batch=1)
+        for k, req in enumerate(requests):
+            fe1.submit(TransformRequest(
+                nufft_type=1, n_modes=(64,), data=req.data, x=X,
+            ), at_s=5e-5 * k)
+        singles = fe1.drain()
+        fe1.close()
+
+        assert all(r.block_size == 12 for r in fused)
+        assert all(r.block_size == 1 for r in singles)
+        for a, b in zip(fused, singles):
+            assert a.output.dtype == b.output.dtype
+            assert np.array_equal(a.output, b.output)
+
+    def test_window_closes_at_max_batch(self):
+        rng = np.random.default_rng(8)
+        fe = _frontend(window_s=1.0, max_batch=4)  # huge window: size closes it
+        for _ in range(8):
+            fe.submit(_request(rng), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+        assert [r.block_size for r in results] == [4] * 8
+        assert fe.windows_dispatched == 2
+
+    def test_window_closes_at_deadline(self):
+        rng = np.random.default_rng(9)
+        fe = _frontend(window_s=1e-3, max_batch=100)
+        fe.submit(_request(rng), at_s=0.0)
+        fe.submit(_request(rng), at_s=5e-4)   # inside the window
+        fe.submit(_request(rng), at_s=5e-3)   # after it closed
+        results = fe.drain()
+        fe.close()
+        assert [r.block_size for r in results] == [2, 2, 1]
+        # batch_wait is bounded by the window: the opener waited the full
+        # window_s, the joiner half of it, the straggler opened its own.
+        assert results[0].batch_wait_s == pytest.approx(1e-3)
+        assert results[1].batch_wait_s == pytest.approx(5e-4)
+
+    def test_distinct_signatures_never_fuse(self):
+        rng = np.random.default_rng(10)
+        fe = _frontend(window_s=1e-2, max_batch=8)
+        for _ in range(3):
+            fe.submit(_request(rng), at_s=0.0)
+            fe.submit(_request(rng, x=X2), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+        assert [r.block_size for r in results] == [3] * 6
+        assert fe.windows_dispatched == 2
+
+    def test_max_batch_one_is_per_request_dispatch(self):
+        rng = np.random.default_rng(11)
+        fe = _frontend(window_s=1e-2, max_batch=1)
+        for _ in range(4):
+            fe.submit(_request(rng), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+        assert [r.block_size for r in results] == [1] * 4
+        assert fe.requests_fused == 0
+
+    def test_windowed_throughput_beats_per_request(self):
+        """Fusion must shrink the modelled makespan of a batchable trace.
+
+        A saturating same-signature burst: windows fill to max_batch and
+        dispatch immediately, so the comparison measures fusion's per-execute
+        amortization (fixed launch/transfer overheads paid once per block),
+        not window-deadline waiting.
+        """
+        rng = np.random.default_rng(12)
+        requests = [_request(rng) for _ in range(64)]
+
+        makespans = {}
+        for name, max_batch in (("windowed", 16), ("per_request", 1)):
+            fe = _frontend(window_s=2e-3, max_batch=max_batch)
+            for req in requests:
+                fe.submit(TransformRequest(
+                    nufft_type=1, n_modes=(64,), data=req.data, x=X,
+                ), at_s=0.0)
+            fe.drain()
+            makespans[name] = fe.service.makespan()
+            fe.close()
+        assert makespans["windowed"] < 0.5 * makespans["per_request"]
+
+
+# --------------------------------------------------------------------------- #
+# fair share
+# --------------------------------------------------------------------------- #
+class TestFairShare:
+    def test_light_tenant_never_starves_under_flood(self):
+        """Adversarial skew: one tenant floods the front door; a light
+        tenant's occasional requests must still be admitted promptly."""
+        rng = np.random.default_rng(13)
+        fe = _frontend(window_s=5e-4, max_batch=8)
+        for _ in range(160):
+            fe.submit(_request(rng, tenant="heavy"), at_s=0.0)
+        for k in range(10):
+            fe.submit(_request(rng, x=X2, tenant="light"), at_s=1e-3 * k)
+        results = fe.drain()
+        fe.close()
+
+        light = [r for r in results if r.tenant == "light"]
+        heavy = [r for r in results if r.tenant == "heavy"]
+        assert len(light) == 10 and all(r.error is None for r in light)
+        light_wait = max(r.queue_wait_s for r in light)
+        heavy_wait = max(r.queue_wait_s for r in heavy)
+        # The light tenant is admitted within one DRR round of credit
+        # freeing; the flooding tenant carries the backlog.
+        assert light_wait <= 0.5 * heavy_wait
+        assert light_wait <= 2e-3
+
+    def test_weighted_tenant_waits_less(self):
+        rng = np.random.default_rng(14)
+        fe = _frontend(window_s=5e-4, max_batch=4, max_inflight=4,
+                       weights={"gold": 4.0})
+        for _ in range(60):
+            fe.submit(_request(rng, tenant="gold"), at_s=0.0)
+            fe.submit(_request(rng, x=X2, tenant="bronze"), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+        mean = lambda rs: float(np.mean([r.queue_wait_s for r in rs]))  # noqa: E731
+        gold = mean([r for r in results if r.tenant == "gold"])
+        bronze = mean([r for r in results if r.tenant == "bronze"])
+        assert gold < bronze
+
+    def test_single_tenant_fifo_order_preserved(self):
+        rng = np.random.default_rng(15)
+        fe = _frontend(window_s=0.0, max_batch=1)
+        seqs = [fe.submit(_request(rng), at_s=1e-4 * k) for k in range(6)]
+        results = fe.drain()
+        fe.close()
+        assert seqs == sorted(seqs)
+        assert [r.error for r in results] == [None] * 6
+        waits = [r.queue_wait_s for r in results]
+        assert all(w >= 0.0 for w in waits)
+
+
+# --------------------------------------------------------------------------- #
+# shedding
+# --------------------------------------------------------------------------- #
+class TestFairShedding:
+    def test_overflow_sheds_lowest_priority_first(self):
+        """No higher-priority request is ever dropped while a lower-priority
+        request of the same tenant survives."""
+        rng = np.random.default_rng(16)
+        priorities = [3, 1, 2, 0, 2, 1, 3, 0, 1, 2, 0, 3]
+        fe = _frontend(window_s=5e-4, max_batch=4, max_inflight=1,
+                       shed=FairShedPolicy(max_pending=4))
+        for p in priorities:
+            fe.submit(_request(rng, tenant="t", priority=p), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+
+        served = [p for r, p in zip(results, priorities) if r.error is None]
+        shed = [p for r, p in zip(results, priorities) if r.error is not None]
+        assert shed, "scenario must actually overflow"
+        assert min(served) >= max(shed)
+        assert all(isinstance(r.error, ServiceOverloadedError)
+                   for r in results if r.error is not None)
+
+    def test_shedding_is_per_tenant(self):
+        """A flooding tenant's overflow sheds its own work only."""
+        rng = np.random.default_rng(17)
+        fe = _frontend(window_s=5e-4, max_batch=4, max_inflight=1,
+                       shed=FairShedPolicy(max_pending=3))
+        for _ in range(20):
+            fe.submit(_request(rng, tenant="flood", priority=5), at_s=0.0)
+        for _ in range(3):
+            fe.submit(_request(rng, x=X2, tenant="calm", priority=0), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+
+        calm = [r for r in results if r.tenant == "calm"]
+        assert all(r.error is None for r in calm)
+        stats = fe.service.stats
+        assert stats.shed_by_tenant.get("flood", 0) > 0
+        assert "calm" not in stats.shed_by_tenant
+        assert stats.requests_shed == stats.shed_by_tenant["flood"]
+
+    def test_incoming_lowest_is_shed_unseated(self):
+        rng = np.random.default_rng(18)
+        fe = _frontend(window_s=5e-4, max_batch=2, max_inflight=1,
+                       shed=FairShedPolicy(max_pending=2))
+        fe.submit(_request(rng, priority=2), at_s=0.0)
+        fe.submit(_request(rng, priority=2), at_s=0.0)
+        fe.submit(_request(rng, priority=2), at_s=0.0)   # fills the queue
+        low = fe.submit(_request(rng, priority=1), at_s=0.0)
+        results = fe.drain()
+        fe.close()
+        assert results[low].error is not None
+        assert sum(r.error is not None for r in results) == 1
+
+    def test_shed_policy_validation(self):
+        with pytest.raises(ValueError):
+            FairShedPolicy(max_pending=0)
+
+
+# --------------------------------------------------------------------------- #
+# latency accounting
+# --------------------------------------------------------------------------- #
+class TestLatencyAccounting:
+    def test_percentiles_present_and_ordered(self):
+        rng = np.random.default_rng(19)
+        fe = _frontend(window_s=1e-3, max_batch=8)
+        for k in range(24):
+            fe.submit(_request(rng, tenant=["a", "b"][k % 2]), at_s=2e-4 * k)
+        results = fe.drain()
+
+        for tenant in ("a", "b"):
+            summary = fe.tenant_latency(tenant)
+            for kind in ("queue_wait", "batch_wait", "e2e"):
+                entry = summary[kind]
+                assert entry["n"] == 12
+                assert 0.0 <= entry["p50"] <= entry["p95"] <= entry["p99"]
+                assert entry["p99"] <= entry["max"] < np.inf
+        by_sig = fe.service.stats.latency_percentiles("signature")
+        assert len(by_sig) == 1
+        (sig_summary,) = by_sig.values()
+        assert sig_summary["e2e"]["n"] == 24
+        # result fields agree with the definition of each latency kind
+        for r in results:
+            assert r.e2e_s == pytest.approx(
+                r.queue_wait_s + r.batch_wait_s
+                + (r.e2e_s - r.queue_wait_s - r.batch_wait_s))
+            assert r.e2e_s >= r.queue_wait_s + r.batch_wait_s - 1e-12
+        fe.close()
+
+    def test_report_carries_qos_blocks(self):
+        rng = np.random.default_rng(20)
+        fe = _frontend(window_s=1e-3, max_batch=8)
+        for _ in range(8):
+            fe.submit(_request(rng, tenant="alice"), at_s=0.0)
+        fe.drain()
+        report = fe.report()
+        assert "AsyncFrontend" in report
+        assert "qos[tenant=alice]" in report
+        assert "p99" in report
+        assert "pool[t1:64:" in report
+        fe.close()
+
+    def test_per_signature_pool_breakdown(self):
+        rng = np.random.default_rng(21)
+        fe = _frontend(window_s=0.0, max_batch=1)
+        for _ in range(3):
+            fe.submit(_request(rng), at_s=0.0)          # signature A x3
+        fe.submit(_request(rng, x=X2), at_s=0.0)        # signature B x1
+        fe.drain()
+        pool = fe.service.stats.pool_by_signature
+        assert len(pool) == 2
+        counts = sorted((c["hits"], c["misses"], c["setpts_skipped"])
+                        for c in pool.values())
+        # signature B: 1 miss; signature A: 1 miss then 2 hits with the
+        # exact point set cached, so both set_pts executions are skipped.
+        assert counts == [(0, 1, 0), (2, 1, 2)]
+        fe.close()
+
+    def test_record_latency_rejects_unknown_kind(self):
+        from repro.service import ServiceStats
+        stats = ServiceStats()
+        with pytest.raises(ValueError, match="kind"):
+            stats.record_latency("tenant", "t", "tail_wait", 1.0)
+
+    def test_advance_time_is_monotonic(self):
+        service = TransformService()
+        service.advance_time(0.5)
+        assert service.host_time == pytest.approx(0.5)
+        service.advance_time(0.25)   # backwards: no-op
+        assert service.host_time == pytest.approx(0.5)
+        service.close()
+
+
+# --------------------------------------------------------------------------- #
+# front-end lifecycle and validation
+# --------------------------------------------------------------------------- #
+class TestFrontendLifecycle:
+    def test_constructor_validation(self):
+        service = TransformService()
+        with pytest.raises(ValueError):
+            AsyncFrontend(service, window_s=-1.0)
+        with pytest.raises(ValueError):
+            AsyncFrontend(service, max_batch=0)
+        with pytest.raises(ValueError):
+            AsyncFrontend(service, max_inflight=0)
+        with pytest.raises(ValueError):
+            AsyncFrontend(service, quantum=0.0)
+        with pytest.raises(ValueError):
+            AsyncFrontend(service, weights={"t": 0.0})
+        with pytest.raises(TypeError):
+            AsyncFrontend(service, shed=object())
+        with pytest.raises(TypeError):
+            AsyncFrontend(object())
+        service.close()
+
+    def test_close_refuses_undrained_work(self):
+        rng = np.random.default_rng(22)
+        fe = _frontend()
+        fe.submit(_request(rng), at_s=0.0)
+        with pytest.raises(RuntimeError, match="drain"):
+            fe.close()
+        fe.drain()
+        fe.close()
+        fe.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            fe.submit(_request(rng))
+
+    def test_context_manager_and_incremental_drain(self):
+        rng = np.random.default_rng(23)
+        with _frontend(window_s=0.0, max_batch=2) as fe:
+            fe.submit(_request(rng), at_s=0.0)
+            fe.submit(_request(rng), at_s=0.0)
+            first = fe.drain()
+            assert len(first) == 2
+            fe.submit(_request(rng), at_s=fe.now + 1e-3)
+            second = fe.drain()
+            assert len(second) == 1 and second[0].error is None
+
+    def test_submit_rejects_mixed_and_bad_args(self):
+        rng = np.random.default_rng(24)
+        fe = _frontend()
+        req = _request(rng)
+        with pytest.raises(ValueError, match="not both"):
+            fe.submit(req, nufft_type=1)
+        with pytest.raises(TypeError):
+            fe.submit(object())
+        with pytest.raises(ValueError):
+            fe.submit(req, at_s=-1.0)
+        fe.drain()
+        fe.close()

@@ -30,6 +30,7 @@ AUDITED = {
     "repro.core.simple": {"require_examples": True},
     "repro.faults": {"require_examples": False},
     "repro.service": {"require_examples": False},
+    "repro.service.frontend": {"require_examples": False},
     "repro.solve": {"require_examples": False},
     "repro.tuning": {"require_examples": False},
 }
