@@ -48,11 +48,20 @@ class ExecutionBackend:
     Data contracts (``B = n_trans`` leading axis, always present):
 
     * ``spread``:      ``(B, M)`` strengths      -> ``(B, *fine_shape)`` grid
-    * ``fft_forward``: ``(B, *fine_shape)``      -> same, complex128
+    * ``fft_forward``: ``(B, *fine_shape)``      -> same, native precision
     * ``deconvolve``:  ``(B, *fine_shape)`` FFT  -> ``(B, *n_modes)`` modes
     * ``precorrect``:  ``(B, *n_modes)`` modes   -> ``(B, *fine_shape)`` grid
-    * ``fft_inverse``: ``(B, *fine_shape)``      -> same, complex128
+    * ``fft_inverse``: ``(B, *fine_shape)``      -> same, native precision
     * ``interp``:      ``(B, *fine_shape)`` grid -> ``(B, M)`` values
+
+    Every non-FFT stage accepts an optional ``out=`` array of the stage's
+    output shape: when given, the stage writes its result into that storage
+    and returns it (the zero-copy workspace pipeline -- the plan passes its
+    :class:`~repro.core.workspace.Workspace` buffers or the user's ``out=``
+    array); when omitted, the stage allocates as before.  The FFT stages are
+    inherently out-of-place (pocketfft, like cuFFT's workspace-backed
+    transform, produces a new array); the plan re-adopts their results into
+    the workspace instead.
     """
 
     #: Registry name of the backend.
@@ -66,7 +75,7 @@ class ExecutionBackend:
         return bool(opts.cache_stencils)
 
     # Stage hooks -------------------------------------------------------- #
-    def spread(self, plan, strengths, pipeline):
+    def spread(self, plan, strengths, pipeline, out=None):
         raise NotImplementedError
 
     def fft_forward(self, plan, fine, pipeline):
@@ -75,13 +84,13 @@ class ExecutionBackend:
     def fft_inverse(self, plan, fine, pipeline):
         raise NotImplementedError
 
-    def deconvolve(self, plan, fine_hat, pipeline):
+    def deconvolve(self, plan, fine_hat, pipeline, out=None):
         raise NotImplementedError
 
-    def precorrect(self, plan, modes, pipeline):
+    def precorrect(self, plan, modes, pipeline, out=None):
         raise NotImplementedError
 
-    def interp(self, plan, fine, pipeline):
+    def interp(self, plan, fine, pipeline, out=None):
         raise NotImplementedError
 
 

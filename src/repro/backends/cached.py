@@ -11,8 +11,6 @@ recorded; this backend is pure throughput.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.interp import interp_cached, interpolate
 from ..core.options import SpreadMethod
 from ..core.spread import spread_cached, spread_gm, spread_gm_sort, spread_sm
@@ -33,41 +31,47 @@ class CachedBackend(ExecutionBackend):
         return True
 
     # ------------------------------------------------------------------ #
-    def spread(self, plan, strengths, pipeline):
+    def spread(self, plan, strengths, pipeline, out=None):
         cache = plan._stencil
         cplx = plan.precision.complex_dtype
         if cache is not None and cache.interp_matrix is not None:
-            return spread_cached(plan.fine_shape, strengths, cache, cplx)
+            return spread_cached(plan.fine_shape, strengths, cache, cplx, out=out)
         if plan.method is SpreadMethod.GM:
             return spread_gm(plan.fine_shape, plan._grid_coords, strengths,
-                             plan.kernel, cplx, cache=cache)
+                             plan.kernel, cplx, cache=cache, out=out)
         if plan.method is SpreadMethod.GM_SORT:
             return spread_gm_sort(plan.fine_shape, plan._grid_coords, strengths,
-                                  plan.kernel, plan._sort, cplx, cache=cache)
+                                  plan.kernel, plan._sort, cplx, cache=cache,
+                                  out=out)
         return spread_sm(plan.fine_shape, plan._grid_coords, strengths,
                          plan.kernel, plan._sort, plan._ensure_subproblems(),
-                         cplx, cache=cache)
+                         cplx, cache=cache, out=out)
 
     def fft_forward(self, plan, fine, pipeline):
+        # Native precision end to end: pocketfft transforms complex64 blocks
+        # without the historical complex128 round-trip (two full-grid copies).
         axes = tuple(range(1, plan.ndim + 1))
-        return plan._fft.forward(fine.astype(np.complex128, copy=False), axes=axes)
+        return plan._fft.forward(fine, axes=axes)
 
     def fft_inverse(self, plan, fine, pipeline):
         axes = tuple(range(1, plan.ndim + 1))
-        return plan._fft.inverse(fine.astype(np.complex128, copy=False), axes=axes)
+        return plan._fft.inverse(fine, axes=axes)
 
-    def deconvolve(self, plan, fine_hat, pipeline):
+    def deconvolve(self, plan, fine_hat, pipeline, out=None):
         return plan.correction.truncate_and_scale(
-            fine_hat, dtype=plan.precision.complex_dtype
+            fine_hat, dtype=plan.precision.complex_dtype, out=out
         )
 
-    def precorrect(self, plan, modes, pipeline):
-        return plan.correction.pad_and_scale(modes, dtype=np.complex128)
+    def precorrect(self, plan, modes, pipeline, out=None):
+        return plan.correction.pad_and_scale(
+            modes, dtype=plan.precision.complex_dtype, out=out
+        )
 
-    def interp(self, plan, fine, pipeline):
+    def interp(self, plan, fine, pipeline, out=None):
         cache = plan._stencil
         cplx = plan.precision.complex_dtype
         if cache is not None and cache.interp_matrix is not None:
-            return interp_cached(fine, plan._grid_coords, cache, cplx)
+            return interp_cached(fine, plan._grid_coords, cache, cplx, out=out)
         return interpolate(fine, plan._grid_coords, plan.kernel,
-                           plan.interp_method, plan._sort, cplx, cache=cache)
+                           plan.interp_method, plan._sort, cplx, cache=cache,
+                           out=out)

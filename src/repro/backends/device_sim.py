@@ -85,8 +85,8 @@ class DeviceSimBackend(ExecutionBackend):
             pipeline.add_kernel(prof.scaled(n_trans), phase="exec")
 
     # ------------------------------------------------------------------ #
-    def spread(self, plan, strengths, pipeline):
-        fine = self._numerics(plan).spread(plan, strengths, pipeline)
+    def spread(self, plan, strengths, pipeline, out=None):
+        fine = self._numerics(plan).spread(plan, strengths, pipeline, out=out)
         subproblems = (
             plan._ensure_subproblems() if plan.method is SpreadMethod.SM else None
         )
@@ -107,24 +107,24 @@ class DeviceSimBackend(ExecutionBackend):
         plan.device.check_launch("cufft_inverse")
         return self._numerics(plan).fft_inverse(plan, fine, pipeline)
 
-    def deconvolve(self, plan, fine_hat, pipeline):
-        modes = self._numerics(plan).deconvolve(plan, fine_hat, pipeline)
+    def deconvolve(self, plan, fine_hat, pipeline, out=None):
+        modes = self._numerics(plan).deconvolve(plan, fine_hat, pipeline, out=out)
         profile = deconvolve_kernel_profile(
             plan.n_modes, plan.precision.complex_itemsize
         )
         self._add_fused_stage(plan, pipeline, [profile], fine_hat.shape[0])
         return modes
 
-    def precorrect(self, plan, modes, pipeline):
-        fine = self._numerics(plan).precorrect(plan, modes, pipeline)
+    def precorrect(self, plan, modes, pipeline, out=None):
+        fine = self._numerics(plan).precorrect(plan, modes, pipeline, out=out)
         profile = deconvolve_kernel_profile(
             plan.n_modes, plan.precision.complex_itemsize, name="precorrect"
         )
         self._add_fused_stage(plan, pipeline, [profile], modes.shape[0])
         return fine
 
-    def interp(self, plan, fine, pipeline):
-        result = self._numerics(plan).interp(plan, fine, pipeline)
+    def interp(self, plan, fine, pipeline, out=None):
+        result = self._numerics(plan).interp(plan, fine, pipeline, out=out)
         profiles = interp_stage_profiles(
             plan.interp_method, plan._sort, plan.kernel, plan.precision,
             plan.opts.threads_per_block, plan.device.spec,

@@ -42,10 +42,26 @@ class ReferenceBackend(ExecutionBackend):
         return spread_sm(plan.fine_shape, plan._grid_coords, strengths,
                          plan.kernel, plan._sort, plan._ensure_subproblems(), cplx)
 
-    def spread(self, plan, strengths, pipeline):
-        return np.stack([
-            self._spread_one(plan, strengths[t]) for t in range(strengths.shape[0])
-        ])
+    @staticmethod
+    def _stacked(parts, out):
+        """Stack per-transform results, landing in ``out`` when provided.
+
+        The reference loop keeps its double-precision internal math; honouring
+        ``out=`` only changes where the stacked block is stored (the copy into
+        single-precision storage is the ground-truth rounding step).
+        """
+        if out is not None:
+            for t, part in enumerate(parts):
+                out[t] = part
+            return out
+        return np.stack(parts)
+
+    def spread(self, plan, strengths, pipeline, out=None):
+        return self._stacked(
+            [self._spread_one(plan, strengths[t])
+             for t in range(strengths.shape[0])],
+            out,
+        )
 
     def fft_forward(self, plan, fine, pipeline):
         return np.stack([
@@ -59,24 +75,27 @@ class ReferenceBackend(ExecutionBackend):
             for t in range(fine.shape[0])
         ])
 
-    def deconvolve(self, plan, fine_hat, pipeline):
+    def deconvolve(self, plan, fine_hat, pipeline, out=None):
         cplx = plan.precision.complex_dtype
-        return np.stack([
-            plan.correction.truncate_and_scale(fine_hat[t], dtype=cplx)
-            for t in range(fine_hat.shape[0])
-        ])
+        return self._stacked(
+            [plan.correction.truncate_and_scale(fine_hat[t], dtype=cplx)
+             for t in range(fine_hat.shape[0])],
+            out,
+        )
 
-    def precorrect(self, plan, modes, pipeline):
-        return np.stack([
-            plan.correction.pad_and_scale(modes[t], dtype=np.complex128)
-            for t in range(modes.shape[0])
-        ])
+    def precorrect(self, plan, modes, pipeline, out=None):
+        return self._stacked(
+            [plan.correction.pad_and_scale(modes[t], dtype=np.complex128)
+             for t in range(modes.shape[0])],
+            out,
+        )
 
-    def interp(self, plan, fine, pipeline):
+    def interp(self, plan, fine, pipeline, out=None):
         cplx = plan.precision.complex_dtype
         method = plan.interp_method
-        return np.stack([
-            interpolate(fine[t], plan._grid_coords, plan.kernel, method,
-                        plan._sort, cplx)
-            for t in range(fine.shape[0])
-        ])
+        return self._stacked(
+            [interpolate(fine[t], plan._grid_coords, plan.kernel, method,
+                         plan._sort, cplx)
+             for t in range(fine.shape[0])],
+            out,
+        )

@@ -21,7 +21,12 @@ from .cunfft import CunfftLibrary
 from .finufft_cpu import FinufftCPU
 from .gpunufft import GpuNufftLibrary
 
-__all__ = ["CufinufftAdapter", "get_library", "available_libraries"]
+__all__ = [
+    "CufinufftAdapter",
+    "FacadeAdapter",
+    "get_library",
+    "available_libraries",
+]
 
 
 class CufinufftAdapter:
@@ -86,6 +91,50 @@ class CufinufftAdapter:
         )
 
 
+class FacadeAdapter(CufinufftAdapter):
+    """Adapter running the upstream-compatible API facades.
+
+    ``make_plan`` builds a :class:`repro.finufft.Plan` or
+    :class:`repro.cufinufft.Plan` (upstream constructor signature, upstream
+    ``iflag``/``eps`` defaults) instead of a native plan, so harness code can
+    exercise the exact entry points an upstream script would use while the
+    capability matrix and modelled timings stay those of the underlying
+    library.  Callers pass upstream option names (``gpu_method=2``,
+    ``spread_sort=0``, ...) through ``make_plan``'s kwargs.
+
+    Parameters
+    ----------
+    flavor : str
+        ``"finufft"`` (CPU-library vocabulary, double-precision default) or
+        ``"cufinufft"`` (``gpu_*`` vocabulary, single-precision default).
+    """
+
+    def __init__(self, flavor="cufinufft"):
+        flavor = str(flavor).strip().lower()
+        if flavor not in ("finufft", "cufinufft"):
+            raise ValueError(
+                f"flavor must be 'finufft' or 'cufinufft', got {flavor!r}"
+            )
+        super().__init__(method="SM" if flavor == "cufinufft" else "GM-sort")
+        self.flavor = flavor
+        self.name = f"repro ({flavor})"
+        if flavor == "finufft":
+            self.device_kind = "cpu"
+
+    def make_plan(self, nufft_type, n_modes, **kwargs):
+        """Build a facade plan through the upstream constructor signature.
+
+        kwargs are upstream names (``iflag``, ``eps``, ``dtype``,
+        ``n_trans`` plus the flavor's opts vocabulary), not native
+        ``Opts`` fields.
+        """
+        if self.flavor == "finufft":
+            from .. import finufft as facade
+        else:
+            from .. import cufinufft as facade
+        return facade.Plan(nufft_type, n_modes, **kwargs)
+
+
 _FACTORIES = {
     "finufft": FinufftCPU,
     "cunfft": CunfftLibrary,
@@ -93,6 +142,8 @@ _FACTORIES = {
     "cufinufft (SM)": lambda: CufinufftAdapter("SM"),
     "cufinufft (GM-sort)": lambda: CufinufftAdapter("GM-sort"),
     "cufinufft (GM)": lambda: CufinufftAdapter("GM"),
+    "repro (finufft)": lambda: FacadeAdapter("finufft"),
+    "repro (cufinufft)": lambda: FacadeAdapter("cufinufft"),
 }
 
 

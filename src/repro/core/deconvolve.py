@@ -89,7 +89,7 @@ class CorrectionFactors:
             idx.append(np.mod(k, nf))
         return idx
 
-    def truncate_and_scale(self, fine_hat, dtype=None):
+    def truncate_and_scale(self, fine_hat, dtype=None, out=None):
         """Type-1 step 3: select the central modes and apply the factors.
 
         Parameters
@@ -97,6 +97,11 @@ class CorrectionFactors:
         fine_hat : ndarray
             FFT of the fine grid, standard FFT ordering, shape ``fine_shape``
             or a stacked ``(n_trans, *fine_shape)`` batch.
+        dtype : dtype, optional
+            Output dtype when allocating (ignored if ``out`` is given).
+        out : ndarray, optional
+            Preallocated output of the result shape; written in place and
+            returned (the zero-copy pipeline's terminal stage for type 1).
 
         Returns
         -------
@@ -112,16 +117,22 @@ class CorrectionFactors:
             )
         idx = self._mode_slices()
         lead = (slice(None),) if batched else ()
-        out = fine_hat[lead + tuple(np.ix_(*idx))]
-        out = out * self.as_broadcast_factors(out.dtype)
+        gathered = fine_hat[lead + tuple(np.ix_(*idx))]
+        if out is not None:
+            np.multiply(gathered, self.as_broadcast_factors(out.dtype), out=out)
+            return out
+        result = gathered * self.as_broadcast_factors(gathered.dtype)
         if dtype is not None:
-            out = out.astype(dtype, copy=False)
-        return out
+            result = result.astype(dtype, copy=False)
+        return result
 
-    def pad_and_scale(self, modes, dtype=np.complex128):
+    def pad_and_scale(self, modes, dtype=np.complex128, out=None):
         """Type-2 step 1: scale the input modes and zero-pad to the fine grid.
 
-        Accepts ``modes_shape`` or a stacked ``(n_trans, *modes_shape)`` batch.
+        Accepts ``modes_shape`` or a stacked ``(n_trans, *modes_shape)``
+        batch.  ``out``, when given, is a preallocated fine-grid-shaped
+        array: it is zero-filled in place and the scaled modes scattered into
+        it -- no fine-grid temporary is materialized.
         """
         modes = np.asarray(modes)
         batched = modes.ndim == self.ndim + 1
@@ -131,7 +142,12 @@ class CorrectionFactors:
                 f"modes has shape {modes.shape}, expected {self.modes_shape}"
             )
         lead_shape = modes.shape[:1] if batched else ()
-        fine = np.zeros(lead_shape + self.fine_shape, dtype=dtype)
+        if out is not None:
+            fine = out
+            fine.fill(0)
+            dtype = out.dtype
+        else:
+            fine = np.zeros(lead_shape + self.fine_shape, dtype=dtype)
         idx = self._mode_slices()
         lead = (slice(None),) if batched else ()
         fine[lead + tuple(np.ix_(*idx))] = modes * self.as_broadcast_factors(dtype)

@@ -39,8 +39,14 @@ __all__ = [
 
 
 def _as_grid_batch(grid, ndim):
-    """View the fine grid as a ``(n_trans, *fine_shape)`` block; flag batched."""
-    grid = np.asarray(grid, dtype=np.complex128)
+    """View the fine grid as a ``(n_trans, *fine_shape)`` block; flag batched.
+
+    Complex grids keep their dtype (no complex128 round-trip, no copy for
+    strided views); real-valued inputs are promoted to complex128.
+    """
+    grid = np.asarray(grid)
+    if not np.iscomplexobj(grid):
+        grid = grid.astype(np.complex128)
     batched = grid.ndim == ndim + 1
     return (grid if batched else grid[None]), batched
 
@@ -66,12 +72,14 @@ def _interp_points(grids, grid_coords, kernel, point_order, out, cache=None):
     return out
 
 
-def interp_cached(grid, grid_coords, cache, dtype=np.complex64):
+def interp_cached(grid, grid_coords, cache, dtype=np.complex64, out=None):
     """Interpolate via the cached sparse operator (one pass over all transforms).
 
     ``interp_matrix @ grid`` performs the kernel-weighted gather for every
     transform at once; real and imaginary parts are contracted separately so
     the real-valued operator is never upcast (and copied) to complex.
+    ``out``, when given, must be a ``(n_trans, M)`` array; the result is
+    written into it and it is returned.
     """
     if cache is None or cache.interp_matrix is None:
         raise ValueError("interp_cached needs a stencil cache with a sparse operator")
@@ -79,54 +87,61 @@ def interp_cached(grid, grid_coords, cache, dtype=np.complex64):
     grids, batched = _as_grid_batch(grid, ndim)
     flat = grids.reshape(grids.shape[0], -1).T  # (n_fine, n_trans)
     matrix = cache.interp_matrix
-    out = ((matrix @ np.ascontiguousarray(flat.real))
-           + 1j * (matrix @ np.ascontiguousarray(flat.imag))).T
-    out = out.astype(dtype, copy=False)
-    return out if batched else out[0]
+    values = ((matrix @ np.ascontiguousarray(flat.real))
+              + 1j * (matrix @ np.ascontiguousarray(flat.imag))).T
+    if out is not None:
+        out[...] = values
+        return out
+    values = values.astype(dtype, copy=False)
+    return values if batched else values[0]
 
 
-def _interp_ordered(grid, grid_coords, kernel, point_order, cache, dtype):
+def _interp_ordered(grid, grid_coords, kernel, point_order, cache, dtype, out=None):
     ndim = len(grid_coords)
     grids, batched = _as_grid_batch(grid, ndim)
     m = grid_coords[0].shape[0]
-    out = np.zeros((grids.shape[0], m), dtype=np.complex128)
-    _interp_points(grids, grid_coords, kernel, point_order, out, cache=cache)
-    out = out.astype(dtype, copy=False)
-    return out if batched else out[0]
+    values = out if out is not None else np.zeros((grids.shape[0], m), dtype=dtype)
+    _interp_points(grids, grid_coords, kernel, point_order, values, cache=cache)
+    if out is not None:
+        return out
+    return values if batched else values[0]
 
 
-def interp_gm(grid, grid_coords, kernel, dtype=np.complex64, cache=None):
+def interp_gm(grid, grid_coords, kernel, dtype=np.complex64, cache=None, out=None):
     """GM interpolation: targets visited in their user-supplied order.
 
     ``grid`` may be ``(*fine_shape)`` or a stacked ``(n_trans, *fine_shape)``
-    block; the output gains a matching leading axis.
+    block; the output gains a matching leading axis (or lands in ``out``).
     """
     m = grid_coords[0].shape[0]
     order = np.arange(m, dtype=np.int64)
-    return _interp_ordered(grid, grid_coords, kernel, order, cache, dtype)
+    return _interp_ordered(grid, grid_coords, kernel, order, cache, dtype, out=out)
 
 
-def interp_gm_sort(grid, grid_coords, kernel, sort, dtype=np.complex64, cache=None):
+def interp_gm_sort(grid, grid_coords, kernel, sort, dtype=np.complex64, cache=None,
+                   out=None):
     """GM-sort interpolation: targets visited in bin-sorted order.
 
     The permuted visiting order only changes memory locality; the value
     written to each ``c_j`` is identical to GM up to floating point.
     """
-    return _interp_ordered(grid, grid_coords, kernel, sort.permutation, cache, dtype)
+    return _interp_ordered(grid, grid_coords, kernel, sort.permutation, cache, dtype,
+                           out=out)
 
 
 def interpolate(grid, grid_coords, kernel, method, sort=None, dtype=np.complex64,
-                cache=None):
+                cache=None, out=None):
     """Dispatch to the requested interpolation method."""
     method = SpreadMethod.parse(method)
     if method is SpreadMethod.GM:
-        return interp_gm(grid, grid_coords, kernel, dtype, cache=cache)
+        return interp_gm(grid, grid_coords, kernel, dtype, cache=cache, out=out)
     if method in (SpreadMethod.GM_SORT, SpreadMethod.SM):
         # The paper notes an SM-style scheme brings little benefit for
         # interpolation; SM requests fall back to GM-sort (same as the code).
         if sort is None:
             raise ValueError("GM-sort interpolation requires a BinSort")
-        return interp_gm_sort(grid, grid_coords, kernel, sort, dtype, cache=cache)
+        return interp_gm_sort(grid, grid_coords, kernel, sort, dtype, cache=cache,
+                              out=out)
     raise ValueError(f"cannot interpolate with method {method!r}")
 
 

@@ -173,6 +173,12 @@ class Opts:
     stencil_budget : int
         Maximum fused stencil entry count ``M * w^d`` the cache may
         materialize (indices + weights + sparse operator).
+    reuse_workspace : bool
+        Whether the plan's :class:`~repro.core.workspace.Workspace` reuses
+        its fine-grid/FFT/staging buffers across executes (the zero-copy
+        steady state).  ``False`` restores the pre-refactor
+        allocate-per-execute churn, kept as the measurable baseline of
+        ``benchmarks/bench_interop.py``.
     backend : str
         Execution backend name (see :mod:`repro.backends`): ``"reference"``
         (exact per-transform numpy loop), ``"cached"`` (fused stencil-cache /
@@ -193,6 +199,7 @@ class Opts:
     cache_stencils: bool = True
     kernel_eval: str = "horner"
     stencil_budget: int = 1 << 25
+    reuse_workspace: bool = True
     backend: str = "auto"
     extra: dict = field(default_factory=dict)
 
@@ -280,6 +287,7 @@ class Opts:
             "cache_stencils": self.cache_stencils,
             "kernel_eval": self.kernel_eval,
             "stencil_budget": self.stencil_budget,
+            "reuse_workspace": self.reuse_workspace,
             "backend": self.backend,
             "extra": dict(self.extra),
         }

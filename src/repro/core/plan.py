@@ -35,6 +35,7 @@ from ..gpu.device import Device
 from ..gpu.fft import DeviceFFT
 from ..gpu.profiler import PipelineProfile
 from ..kernels.es_kernel import ESKernel
+from ..metrics import allocs
 from .binsort import (
     bin_sort,
     binsort_kernel_profiles,
@@ -45,6 +46,7 @@ from .deconvolve import CorrectionFactors
 from .gridsize import fine_grid_shape, next_smooth_even_235
 from .options import Opts, SpreadMethod
 from .stencil import build_stencil_cache
+from .workspace import Workspace
 
 __all__ = ["Plan", "CUDA_CONTEXT_MB"]
 
@@ -192,14 +194,22 @@ class Plan:
         # the padded bin no longer fits in shared memory.
         self._apply_sm_fallback()
 
-        # Device allocations that live for the duration of the plan.
+        # Device allocations that live for the duration of the plan.  The
+        # fine grid and the cuFFT workspace live in the plan's Workspace:
+        # allocated once (eagerly, sized for the full n_trans batch, so RAM
+        # reports include them before the first execute) and reused by every
+        # execute call.  A type-3 plan defers them to set_pts, where the
+        # derived fine-grid geometry becomes known.
         self._buffers = []
+        self._plan_pipeline = PipelineProfile()
+        self.workspace = Workspace(self.device, reuse=self.opts.reuse_workspace)
         cplx = self.precision.complex_dtype
         if self.nufft_type != 3:
-            self._fine_grid_buf = self._alloc(self.fine_shape, cplx, "fine grid")
-            self._cufft_workspace_buf = self._alloc(
-                self.fine_shape, cplx, "cufft workspace"
-            )
+            batch = (self.n_trans,) + self.fine_shape
+            self.workspace.array("fine grid", batch, cplx,
+                                 pipeline=self._plan_pipeline)
+            self.workspace.array("cufft workspace", batch, cplx,
+                                 pipeline=self._plan_pipeline)
             for d, (nm, fac) in enumerate(zip(self.n_modes, self.correction.factors)):
                 self._alloc((nm,), self.precision.real_dtype, f"correction factors dim{d}")
 
@@ -226,7 +236,7 @@ class Plan:
         # Profiles.  Only this plan's own allocations are recorded: on a
         # shared device (multiple plans, or a type-3 plan's inner type-2)
         # other plans' live buffers must not be double-counted in "mem".
-        self._plan_pipeline = PipelineProfile()
+        # (Workspace buffers recorded themselves into _plan_pipeline above.)
         for buf in self._buffers:
             self._plan_pipeline.add_transfer("alloc", buf.nbytes, buf.label)
         self._setup_pipeline = PipelineProfile()
@@ -578,8 +588,19 @@ class Plan:
         self._t3_prephase = np.exp(self.isign * 1j * prephase)
         self._t3_postphase = factors * np.exp(self.isign * 1j * postphase)
 
+        # Workspace buffers of the composition, sized for the new geometry.
+        # Allocated here (not lazily in execute) so a simulated OOM surfaces
+        # during set_pts -- leaving the plan in the explicit "no points"
+        # state -- and so steady-state executes start at zero allocations.
+        # Matching shapes from a previous point set are reused in place.
         cplx = self.precision.complex_dtype
-        self._point_alloc(self.fine_shape, cplx, "t3 fine grid")
+        batch = (self.n_trans,)
+        self.workspace.array("fine grid", batch + self.fine_shape, cplx,
+                             pipeline=self._setup_pipeline)
+        self.workspace.array("t3 strengths", batch + (m,), cplx,
+                             pipeline=self._setup_pipeline)
+        self.workspace.array("t3 tau", batch + (nk,), cplx,
+                             pipeline=self._setup_pipeline)
         self._upload_points(coords)
         for label, vec in (("t3 prephase", self._t3_prephase),
                            ("t3 deconvolve factors", self._t3_postphase)):
@@ -629,7 +650,12 @@ class Plan:
 
         ``out``, when given, must be a numpy array of exactly the output
         shape and the plan's complex dtype; anything else raises
-        ``ValueError`` rather than silently broadcasting.
+        ``ValueError`` rather than silently broadcasting.  The terminal stage
+        writes directly into ``out`` (no intermediate output array), and
+        conforming inputs -- the plan's complex dtype, any layout -- flow
+        through the workspace-managed pipeline without allocating or copying:
+        the per-execute :class:`~repro.metrics.allocs.AllocStats` attached to
+        the pipeline profile (``last_exec_allocs``) records any deviation.
 
         Each stage runs on the plan's execution backend: the default
         ``device_sim`` fuses all ``n_trans`` transforms per stage (via the
@@ -647,54 +673,103 @@ class Plan:
         pipeline = PipelineProfile()
         self._fft.pipeline = pipeline if backend.records_profiles else None
 
-        # The exponent sign enters the uniform pipeline only through the FFT
-        # direction (the kernel and the correction factors are real):
-        # ``e^{-i}`` is the forward FFT, ``e^{+i}`` the unnormalized inverse.
-        stack = (data if batched else data[None]).astype(cplx, copy=False)
-        if self.nufft_type == 3:
-            output = self._execute_type3(stack, pipeline)
-        elif self.nufft_type == 1:
-            fine = backend.spread(self, stack, pipeline)
-            if self.opts.spread_only:
-                output = fine
-            else:
-                if self.isign < 0:
-                    fine_hat = backend.fft_forward(self, fine, pipeline)
+        with allocs.track_allocs() as stats:
+            # The exponent sign enters the uniform pipeline only through the
+            # FFT direction (the kernel and the correction factors are real):
+            # ``e^{-i}`` is the forward FFT, ``e^{+i}`` the unnormalized
+            # inverse.  Conforming input (the plan's complex dtype, batched
+            # or not, any strides) passes through without a copy.
+            stack = allocs.as_dtype_counted(
+                data if batched else data[None], cplx, "input dtype conversion"
+            )
+            out_block = self._acquire_out_block(out, batched)
+            if self.nufft_type == 3:
+                output = self._execute_type3(stack, out_block, pipeline)
+            elif self.nufft_type == 1:
+                if self.opts.spread_only:
+                    output = backend.spread(self, stack, pipeline, out=out_block)
                 else:
-                    fine_hat = backend.fft_inverse(self, fine, pipeline)
-                output = backend.deconvolve(self, fine_hat, pipeline)
-        else:
-            if self.opts.spread_only:
-                fine = stack.astype(np.complex128, copy=False)
+                    fine = backend.spread(
+                        self, stack, pipeline, out=self._workspace_fine(pipeline)
+                    )
+                    if self.isign < 0:
+                        fine_hat = backend.fft_forward(self, fine, pipeline)
+                    else:
+                        fine_hat = backend.fft_inverse(self, fine, pipeline)
+                    self.workspace.adopt("cufft workspace", fine_hat,
+                                         pipeline=pipeline)
+                    output = backend.deconvolve(self, fine_hat, pipeline,
+                                                out=out_block)
             else:
-                fine = backend.precorrect(self, stack, pipeline)
-                if self.isign > 0:
-                    fine = backend.fft_inverse(self, fine, pipeline)
+                if self.opts.spread_only:
+                    fine = stack
                 else:
-                    fine = backend.fft_forward(self, fine, pipeline)
-            output = backend.interp(self, fine, pipeline)
+                    fine = backend.precorrect(
+                        self, stack, pipeline, out=self._workspace_fine(pipeline)
+                    )
+                    if self.isign > 0:
+                        fine = backend.fft_inverse(self, fine, pipeline)
+                    else:
+                        fine = backend.fft_forward(self, fine, pipeline)
+                    self.workspace.adopt("cufft workspace", fine,
+                                         pipeline=pipeline)
+                output = backend.interp(self, fine, pipeline, out=out_block)
 
+            if output is not out_block:
+                # Safety net for backends that ignore ``out=``: land the
+                # result in the caller-visible storage (a counted copy).
+                allocs.record_copy(out_block.nbytes, "terminal copy")
+                out_block[...] = output
+                output = out_block
+
+        pipeline.allocs = stats
         self._record_execute_transfers(data, output, pipeline)
         self._exec_pipeline = pipeline
 
-        output = output if batched else output[0]
         if out is not None:
-            out[...] = output
             return out
-        return output
+        return output if batched else output[0]
 
-    def _execute_type3(self, stack, pipeline):
+    def _workspace_fine(self, pipeline):
+        """The plan's reusable batched fine-grid buffer (stages write into it)."""
+        return self.workspace.array(
+            "fine grid", (self.n_trans,) + self.fine_shape,
+            self.precision.complex_dtype, pipeline=pipeline,
+        )
+
+    def _acquire_out_block(self, out, batched):
+        """Batched view of the output storage the terminal stage writes into.
+
+        The caller's ``out=`` array when given (never workspace memory --
+        pooled plans must not leak views of reusable buffers), a fresh
+        counted allocation otherwise.
+        """
+        if out is not None:
+            return out if batched else out[None]
+        shape = (self.n_trans,) + tuple(self._single_output_shape())
+        block = np.empty(shape, dtype=self.precision.complex_dtype)
+        allocs.record_alloc(block.nbytes, "output block")
+        return block
+
+    def _execute_type3(self, stack, out_block, pipeline):
         """Type 3 as spread -> (shift to modes) -> inner type 2 -> deconvolve."""
+        ws = self.workspace
         cplx = self.precision.complex_dtype
-        strengths = stack.astype(np.complex128, copy=False) * self._t3_prephase[None, :]
-        fine = self.backend.spread(self, strengths, pipeline)
+        batch = (stack.shape[0],)
+        pre = ws.array("t3 strengths", batch + (self.n_points,), cplx,
+                       pipeline=pipeline)
+        np.multiply(stack, self._t3_prephase[None, :], out=pre)
+        fine = self.backend.spread(self, pre, pipeline,
+                                   out=self._workspace_fine(pipeline))
         # The spatial fine grid, reordered so node l becomes centred mode
         # l - nf/2 (exact for the even grid sizes set_pts chooses): the
         # grid's trigonometric sum at a rescaled target is then a type-2
         # NUFFT evaluation.
         g = np.fft.fftshift(np.asarray(fine), axes=tuple(range(1, self.ndim + 1)))
-        tau = self._t3_inner.execute(g)
-        output = tau.astype(np.complex128, copy=False) * self._t3_postphase[None, :]
+        tau = ws.array("t3 tau", batch + (self.n_targets,), cplx,
+                       pipeline=pipeline)
+        self._t3_inner.execute(g, out=tau)
+        np.multiply(tau, self._t3_postphase[None, :], out=out_block)
         inner_pipeline = self._t3_inner._exec_pipeline
         if self.backend.records_profiles and inner_pipeline is not None:
             # Adopt the inner transform's kernel profiles, but not its
@@ -702,7 +777,7 @@ class Plan:
             # the device in the composed transform.
             for phase, prof in inner_pipeline.kernels:
                 pipeline.add_kernel(prof, phase=phase)
-        return output.astype(cplx, copy=False)
+        return out_block
 
     def _single_input_shape(self):
         if self.nufft_type in (1, 3):
@@ -783,6 +858,21 @@ class Plan:
         if self._exec_pipeline is not None:
             combined.merge(self._exec_pipeline)
         return self.cost_model.pipeline_times(combined, contention_factor=contention)
+
+    @property
+    def last_allocs(self):
+        """:class:`~repro.metrics.allocs.AllocStats` of the most recent
+        :meth:`execute` call (None before the first execute).
+
+        In the steady state -- workspace reuse on, caller-provided ``out=``
+        -- every counter is zero: no buffer is allocated and no array is
+        copied on the hot path.  Without ``out=`` exactly one allocation (the
+        fresh output block) is recorded; with ``reuse_workspace=False`` the
+        per-execute churn the workspace eliminates becomes visible here.
+        """
+        if self._exec_pipeline is None:
+            return None
+        return self._exec_pipeline.allocs
 
     def ns_per_point(self, key="exec"):
         """Timing per nonuniform point in nanoseconds (the paper's y-axis)."""
@@ -871,6 +961,7 @@ class Plan:
             buf.free()
         for buf in self._buffers:
             buf.free()
+        self.workspace.release_all()
         self._point_buffers = []
         self._buffers = []
         self._stencil = None

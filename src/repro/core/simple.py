@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 
-def _run_type1(coords, strengths, n_modes, eps, kwargs):
+def _run_type1(coords, strengths, n_modes, eps, kwargs, out=None):
     strengths = np.asarray(strengths)
     kwargs = _infer_precision(dict(kwargs), strengths)
     if strengths.ndim == 2:
@@ -68,20 +68,20 @@ def _run_type1(coords, strengths, n_modes, eps, kwargs):
         kwargs.setdefault("n_trans", strengths.shape[0])
     with Plan(1, n_modes, eps=eps, **kwargs) as plan:
         plan.set_pts(*coords)
-        return plan.execute(strengths)
+        return plan.execute(strengths, out=out)
 
 
-def _run_type2(coords, modes, eps, kwargs):
+def _run_type2(coords, modes, eps, kwargs, out=None):
     modes = np.asarray(modes)
     kwargs = _infer_precision(dict(kwargs), modes)
     ndim = len(coords)
     n_modes = modes.shape[modes.ndim - ndim:] if modes.ndim == ndim + 1 else modes.shape
     with Plan(2, n_modes, eps=eps, **kwargs) as plan:
         plan.set_pts(*coords)
-        return plan.execute(modes)
+        return plan.execute(modes, out=out)
 
 
-def _run_type3(coords, strengths, targets, eps, kwargs):
+def _run_type3(coords, strengths, targets, eps, kwargs, out=None):
     strengths = np.asarray(strengths)
     kwargs = _infer_precision(dict(kwargs), strengths)
     if strengths.ndim == 2:
@@ -90,10 +90,10 @@ def _run_type3(coords, strengths, targets, eps, kwargs):
     target_kw = dict(zip(("s", "t", "u"), targets))
     with Plan(3, ndim, eps=eps, **kwargs) as plan:
         plan.set_pts(*coords, **target_kw)
-        return plan.execute(strengths)
+        return plan.execute(strengths, out=out)
 
 
-def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
+def nufft1d1(x, c, n_modes, eps=1e-6, out=None, **kwargs):
     """1D type-1 NUFFT: ``f_k = sum_j c_j exp(-i k x_j)``.
 
     Parameters
@@ -106,6 +106,11 @@ def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
         Output mode count ``N1``.
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).
@@ -134,10 +139,10 @@ def nufft1d1(x, c, n_modes, eps=1e-6, **kwargs):
         n_modes = (int(n_modes),)
     if len(n_modes) != 1:
         raise ValueError(f"n_modes must be an int or a 1-tuple, got {n_modes!r}")
-    return _run_type1((x,), c, tuple(n_modes), eps, kwargs)
+    return _run_type1((x,), c, tuple(n_modes), eps, kwargs, out=out)
 
 
-def nufft1d2(x, f, eps=1e-6, **kwargs):
+def nufft1d2(x, f, eps=1e-6, out=None, **kwargs):
     """1D type-2 NUFFT: evaluate the Fourier series ``f`` at the targets ``x``.
 
     Parameters
@@ -148,6 +153,11 @@ def nufft1d2(x, f, eps=1e-6, **kwargs):
         Mode coefficients; pass ``n_trans`` explicitly for a stacked block.
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -176,10 +186,10 @@ def nufft1d2(x, f, eps=1e-6, **kwargs):
     expected = 2 if kwargs.get("n_trans", 1) > 1 else 1
     if f.ndim != expected:
         raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
-    return _run_type2((x,), f, eps, kwargs)
+    return _run_type2((x,), f, eps, kwargs, out=out)
 
 
-def nufft1d3(x, c, s, eps=1e-6, **kwargs):
+def nufft1d3(x, c, s, eps=1e-6, out=None, **kwargs):
     """1D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_k x_j)``.
 
     Parameters
@@ -192,6 +202,11 @@ def nufft1d3(x, c, s, eps=1e-6, **kwargs):
         Target frequencies (arbitrary reals).
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -216,10 +231,10 @@ def nufft1d3(x, c, s, eps=1e-6, **kwargs):
     >>> nufft1d3(x, c, s).shape
     (250,)
     """
-    return _run_type3((x,), c, (s,), eps, kwargs)
+    return _run_type3((x,), c, (s,), eps, kwargs, out=out)
 
 
-def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
+def nufft2d1(x, y, c, n_modes, eps=1e-6, out=None, **kwargs):
     """2D type-1 NUFFT (paper Eq. (1)).
 
     Parameters
@@ -233,6 +248,11 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
         Output mode counts.
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``isign=``, ``tune=``, ...).  ``isign=-1`` (the
@@ -258,10 +278,10 @@ def nufft2d1(x, y, c, n_modes, eps=1e-6, **kwargs):
     """
     if len(n_modes) != 2:
         raise ValueError(f"n_modes must have length 2, got {n_modes!r}")
-    return _run_type1((x, y), c, tuple(n_modes), eps, kwargs)
+    return _run_type1((x, y), c, tuple(n_modes), eps, kwargs, out=out)
 
 
-def nufft2d2(x, y, f, eps=1e-6, **kwargs):
+def nufft2d2(x, y, f, eps=1e-6, out=None, **kwargs):
     """2D type-2 NUFFT (paper Eq. (3)): evaluate the series ``f`` at ``(x, y)``.
 
     Parameters
@@ -273,6 +293,11 @@ def nufft2d2(x, y, f, eps=1e-6, **kwargs):
         evaluated in one batched transform.
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -300,10 +325,10 @@ def nufft2d2(x, y, f, eps=1e-6, **kwargs):
     expected = 3 if kwargs.get("n_trans", 1) > 1 else 2
     if f.ndim != expected:
         raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
-    return _run_type2((x, y), f, eps, kwargs)
+    return _run_type2((x, y), f, eps, kwargs, out=out)
 
 
-def nufft2d3(x, y, c, s, t, eps=1e-6, **kwargs):
+def nufft2d3(x, y, c, s, t, eps=1e-6, out=None, **kwargs):
     """2D type-3 NUFFT: ``f_k = sum_j c_j exp(+i (s_k x_j + t_k y_j))``.
 
     Parameters
@@ -316,6 +341,11 @@ def nufft2d3(x, y, c, s, t, eps=1e-6, **kwargs):
         Target frequencies (arbitrary reals).
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -340,10 +370,10 @@ def nufft2d3(x, y, c, s, t, eps=1e-6, **kwargs):
     >>> nufft2d3(x, y, c, s, t).shape
     (150,)
     """
-    return _run_type3((x, y), c, (s, t), eps, kwargs)
+    return _run_type3((x, y), c, (s, t), eps, kwargs, out=out)
 
 
-def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
+def nufft3d1(x, y, z, c, n_modes, eps=1e-6, out=None, **kwargs):
     """3D type-1 NUFFT.
 
     Parameters
@@ -356,6 +386,11 @@ def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
         Output mode counts.
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -381,10 +416,10 @@ def nufft3d1(x, y, z, c, n_modes, eps=1e-6, **kwargs):
     """
     if len(n_modes) != 3:
         raise ValueError(f"n_modes must have length 3, got {n_modes!r}")
-    return _run_type1((x, y, z), c, tuple(n_modes), eps, kwargs)
+    return _run_type1((x, y, z), c, tuple(n_modes), eps, kwargs, out=out)
 
 
-def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
+def nufft3d2(x, y, z, f, eps=1e-6, out=None, **kwargs):
     """3D type-2 NUFFT: evaluate the series ``f`` at ``(x, y, z)``.
 
     Parameters
@@ -395,6 +430,11 @@ def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
         Mode coefficients (pass ``n_trans`` for stacked batches).
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -423,10 +463,10 @@ def nufft3d2(x, y, z, f, eps=1e-6, **kwargs):
     expected = 4 if kwargs.get("n_trans", 1) > 1 else 3
     if f.ndim != expected:
         raise ValueError(f"f must be a {expected}-D mode array, got shape {f.shape}")
-    return _run_type2((x, y, z), f, eps, kwargs)
+    return _run_type2((x, y, z), f, eps, kwargs, out=out)
 
 
-def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, **kwargs):
+def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, out=None, **kwargs):
     """3D type-3 NUFFT: ``f_k = sum_j c_j exp(+i s_vec_k . x_vec_j)``.
 
     Parameters
@@ -439,6 +479,11 @@ def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, **kwargs):
         Target frequencies (arbitrary reals).
     eps : float
         Requested relative tolerance.
+    out : ndarray, optional
+        Preallocated output array of exactly the result shape and the
+        transform's complex dtype; the terminal stage writes into it (no
+        intermediate output buffer) and it is returned.  A mismatched shape
+        or dtype raises ``ValueError``.
     **kwargs
         Forwarded to :class:`~repro.core.plan.Plan` (``method=``,
         ``precision=``, ``backend=``, ``isign=``, ``tune=``, ...).  The
@@ -463,4 +508,4 @@ def nufft3d3(x, y, z, c, s, t, u, eps=1e-6, **kwargs):
     >>> nufft3d3(x, y, z, c, s, t, u).shape
     (120,)
     """
-    return _run_type3((x, y, z), c, (s, t, u), eps, kwargs)
+    return _run_type3((x, y, z), c, (s, t, u), eps, kwargs, out=out)

@@ -87,11 +87,18 @@ def compute_kernel_stencil(grid_coords_d, n_fine_d, kernel):
 
 
 def _as_strength_batch(strengths):
-    """View strengths as a ``(n_trans, M)`` complex128 block; flag if batched."""
+    """View strengths as a ``(n_trans, M)`` complex block; flag if batched.
+
+    Complex inputs keep their dtype (and their strides -- no copy), so
+    single-precision batches flow through spreading without a complex128
+    round-trip; real-valued inputs are promoted to complex128.
+    """
     strengths = np.asarray(strengths)
     batched = strengths.ndim == 2
     block = strengths if batched else strengths[None, :]
-    return block.astype(np.complex128, copy=False), batched
+    if not np.iscomplexobj(block):
+        block = block.astype(np.complex128)
+    return block, batched
 
 
 def _point_chunk(n_trans, entries_per_point):
@@ -141,10 +148,14 @@ def _accumulate_chunk(grid_real, grid_imag, flat_idx, weights_real, weights_imag
 
 
 def _grid_views(grids):
-    """Real and imaginary float64 in-place views of a complex128 grid block."""
+    """Real and imaginary in-place views of a complex grid block.
+
+    Works for both precisions (``.real``/``.imag`` of a complex array are
+    writable views); ``bincount`` increments are float64 either way and are
+    rounded into the grid's native precision on accumulation.
+    """
     flat = grids.reshape(grids.shape[0], -1)
-    pairs = flat.view(np.float64).reshape(flat.shape[0], flat.shape[1], 2)
-    return pairs[..., 0], pairs[..., 1]
+    return flat.real, flat.imag
 
 
 def _spread_points(grids, grid_coords, strengths, kernel, point_order, cache=None):
@@ -185,56 +196,78 @@ def _spread_points(grids, grid_coords, strengths, kernel, point_order, cache=Non
 # --------------------------------------------------------------------------- #
 # numeric spreaders
 # --------------------------------------------------------------------------- #
-def spread_cached(fine_shape, strengths, cache, dtype=np.complex64):
+def spread_cached(fine_shape, strengths, cache, dtype=np.complex64, out=None):
     """Spread via the cached sparse operator (one pass over all transforms).
 
     Requires a fused :class:`~repro.core.stencil.StencilCache` carrying the
     CSR interpolation matrix; ``interp_matrix.T`` *is* the spreading operator,
     so the whole ``(n_trans, M)`` strength block is spread with two real
     sparse mat-mats (real and imaginary parts share the real-valued kernel
-    weights).
+    weights).  ``out``, when given, must be a ``(n_trans, *fine_shape)``
+    array; the result is written into it and it is returned.
     """
     if cache is None or cache.interp_matrix is None:
         raise ValueError("spread_cached needs a stencil cache with a sparse operator")
     block, batched = _as_strength_batch(strengths)
     spread_op = cache.interp_matrix.T  # (n_fine, M), CSC view: no copy
     flat = (spread_op @ block.real.T) + 1j * (spread_op @ block.imag.T)
+    if out is not None:
+        if out.flags.c_contiguous:
+            out.reshape(out.shape[0], -1)[...] = flat.T
+        else:
+            # reshape of a strided destination would be a copy, losing the
+            # write -- assign through the destination's own strides instead.
+            out[...] = np.ascontiguousarray(flat.T).reshape(out.shape)
+        return out
     grids = np.ascontiguousarray(flat.T).reshape((block.shape[0],) + tuple(fine_shape))
-    out = grids.astype(dtype, copy=False)
-    return out if batched else out[0]
+    result = grids.astype(dtype, copy=False)
+    return result if batched else result[0]
 
 
 def _spread_ordered(fine_shape, grid_coords, strengths, kernel, point_order, cache,
-                    dtype):
+                    dtype, out=None):
     block, batched = _as_strength_batch(strengths)
-    grids = np.zeros((block.shape[0],) + tuple(fine_shape), dtype=np.complex128)
+    if out is not None and not out.flags.c_contiguous:
+        # The fused bincount pass needs flat C-order views of the grid;
+        # accumulate into a contiguous scratch and assign through the
+        # destination's strides at the end.
+        grids = np.zeros(out.shape, dtype=out.dtype)
+        _spread_points(grids, grid_coords, block, kernel, point_order, cache=cache)
+        out[...] = grids
+        return out
+    if out is not None:
+        grids = out
+        grids.fill(0)
+    else:
+        grids = np.zeros((block.shape[0],) + tuple(fine_shape), dtype=dtype)
     _spread_points(grids, grid_coords, block, kernel, point_order, cache=cache)
-    out = grids.astype(dtype, copy=False)
-    return out if batched else out[0]
+    if out is not None:
+        return out
+    return grids if batched else grids[0]
 
 
 def spread_gm(fine_shape, grid_coords, strengths, kernel, dtype=np.complex64,
-              cache=None):
+              cache=None, out=None):
     """GM spreading: points processed in their user-supplied order.
 
     ``strengths`` may be ``(M,)`` or a stacked ``(n_trans, M)`` block; the
-    output gains a matching leading axis.
+    output gains a matching leading axis (or is written into ``out``).
     """
     m = np.asarray(strengths).shape[-1]
     order = np.arange(m, dtype=np.int64)
     return _spread_ordered(fine_shape, grid_coords, strengths, kernel, order,
-                           cache, dtype)
+                           cache, dtype, out=out)
 
 
 def spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype=np.complex64,
-                   cache=None):
+                   cache=None, out=None):
     """GM-sort spreading: points processed in bin-sorted (permuted) order."""
     return _spread_ordered(fine_shape, grid_coords, strengths, kernel,
-                           sort.permutation, cache, dtype)
+                           sort.permutation, cache, dtype, out=out)
 
 
 def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
-              dtype=np.complex64, cache=None):
+              dtype=np.complex64, cache=None, out=None):
     """SM spreading: per-subproblem padded-bin accumulation then write-back.
 
     Follows paper Fig. 1 steps 2-3 exactly: each subproblem spreads its points
@@ -251,7 +284,11 @@ def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
     ndim = len(fine_shape)
     block, batched = _as_strength_batch(strengths)
     n_trans = block.shape[0]
-    grids = np.zeros((n_trans,) + tuple(fine_shape), dtype=np.complex128)
+    if out is not None:
+        grids = out
+        grids.fill(0)
+    else:
+        grids = np.zeros((n_trans,) + tuple(fine_shape), dtype=dtype)
     w = kernel.width
     pad = int(np.ceil(w / 2.0))
     bin_shape = sort.bin_shape
@@ -315,29 +352,31 @@ def spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
         np.add.at(grids, np.ix_(t_ix, *wrapped),
                   local.reshape((n_trans,) + tuple(local_shape)))
 
-    out = grids.astype(dtype, copy=False)
-    return out if batched else out[0]
+    if out is not None:
+        return out
+    return grids if batched else grids[0]
 
 
 def spread(fine_shape, grid_coords, strengths, kernel, method, sort=None,
-           max_subproblem_size=1024, dtype=np.complex64, cache=None):
+           max_subproblem_size=1024, dtype=np.complex64, cache=None, out=None):
     """Dispatch to the requested spreading method.
 
     ``sort`` (a :class:`~repro.core.binsort.BinSort`) is required for GM-sort
-    and SM.
+    and SM.  ``out``, when given, receives the batched fine grid in place.
     """
     method = SpreadMethod.parse(method)
     if method is SpreadMethod.GM:
-        return spread_gm(fine_shape, grid_coords, strengths, kernel, dtype, cache=cache)
+        return spread_gm(fine_shape, grid_coords, strengths, kernel, dtype,
+                         cache=cache, out=out)
     if sort is None:
         raise ValueError(f"method {method.value} requires a BinSort")
     if method is SpreadMethod.GM_SORT:
         return spread_gm_sort(fine_shape, grid_coords, strengths, kernel, sort, dtype,
-                              cache=cache)
+                              cache=cache, out=out)
     if method is SpreadMethod.SM:
         subproblems = make_subproblems(sort, max_subproblem_size)
         return spread_sm(fine_shape, grid_coords, strengths, kernel, sort, subproblems,
-                         dtype, cache=cache)
+                         dtype, cache=cache, out=out)
     raise ValueError(f"cannot spread with method {method!r}")
 
 

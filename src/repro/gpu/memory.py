@@ -109,6 +109,17 @@ class MemoryPool:
         array = np.array(host_array, copy=True)
         return self._register(array, label)
 
+    def adopt(self, array, label=""):
+        """Account an existing array as a device buffer without copying it.
+
+        The zero-copy registration used by :class:`repro.core.workspace.
+        Workspace` to take ownership of stage outputs (e.g. the FFT result
+        standing in for the cuFFT workspace buffer): capacity checking and
+        accounting behave exactly like :meth:`allocate`, but the array is
+        adopted as-is.
+        """
+        return self._register(np.asarray(array), label)
+
     def _register(self, array, label):
         nbytes = array.nbytes
         if self.allocated_bytes + nbytes > self.capacity_bytes:

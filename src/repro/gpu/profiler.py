@@ -155,10 +155,16 @@ class PipelineProfile:
     * ``total``      -- exec plus the ``phase="setup"`` kernels (bin-index
       computation, sort, subproblem setup) for fresh points;
     * ``total+mem``  -- total plus host<->device transfers and allocations.
+
+    ``allocs`` carries the :class:`~repro.metrics.allocs.AllocStats` of the
+    execute call that produced this profile (None for setup/plan pipelines):
+    the hot-path buffer-event counts the interop benchmark and its CI gate
+    read to assert the zero-copy steady state.
     """
 
     kernels: list = field(default_factory=list)  # list[(phase, KernelProfile)]
     transfers: list = field(default_factory=list)  # list[TransferRecord]
+    allocs: object = None  # AllocStats of the producing execute, if any
 
     def add_kernel(self, profile, phase="exec"):
         if phase not in ("exec", "setup"):

@@ -1,0 +1,249 @@
+"""Tests of the zero-copy workspace execution path.
+
+Pins the PR's memory-path contract:
+
+* steady-state executes with caller-provided ``out=`` record **zero**
+  alloc/copy events across all transform types and dimensions;
+* non-contiguous conforming inputs and outputs (F-order, strided,
+  negative-stride) flow through without counted copies and produce results
+  bit-identical to the contiguous path;
+* workspace buffers are reused across executes (flat simulated RAM);
+* ``spread_only`` plans return the plan precision for both types (no
+  complex128 upcast);
+* ``out=`` validation rejects wrong shape/dtype.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Plan, nufft1d1, nufft2d1, nufft2d2, nufft2d3
+from repro.metrics import track_allocs
+from repro.metrics.allocs import as_dtype_counted
+
+
+def _points(rng, ndim, m=600):
+    return [rng.uniform(-np.pi, np.pi, m) for _ in range(ndim)]
+
+
+def _strengths(rng, m, dtype=np.complex64):
+    return (rng.standard_normal(m) + 1j * rng.standard_normal(m)).astype(dtype)
+
+
+def _modes_for(ndim):
+    return {1: (32,), 2: (16, 12), 3: (10, 8, 6)}[ndim]
+
+
+def _make_plan(tp, ndim, rng, m=600, **opts):
+    coords = _points(rng, ndim, m)
+    plan = Plan(tp, _modes_for(ndim) if tp != 3 else ndim, eps=1e-6,
+                precision="single", **opts)
+    if tp == 3:
+        nk = 48
+        targets = [rng.uniform(-25, 25, nk) for _ in range(ndim)]
+        kw = dict(zip("stu", targets))
+        plan.set_pts(*coords, **kw)
+    else:
+        plan.set_pts(*coords)
+    return plan
+
+
+def _io_pair(plan, tp, ndim, rng, m=600):
+    cplx = plan.precision.complex_dtype
+    if tp == 2:
+        data = _strengths(rng, int(np.prod(_modes_for(ndim))),
+                          cplx).reshape(_modes_for(ndim))
+        out = np.empty(m, dtype=cplx)
+    else:
+        data = _strengths(rng, m, cplx)
+        shape = _modes_for(ndim) if tp == 1 else (plan.n_targets,)
+        out = np.empty(shape, dtype=cplx)
+    return data, out
+
+
+class TestSteadyStateZeroEvents:
+    @pytest.mark.parametrize("tp", [1, 2, 3])
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_zero_events_with_out(self, rng, tp, ndim):
+        plan = _make_plan(tp, ndim, rng)
+        data, out = _io_pair(plan, tp, ndim, rng)
+        for _ in range(2):  # warm-up populates the workspace
+            plan.execute(data, out=out)
+        plan.execute(data, out=out)
+        stats = plan.last_allocs
+        assert stats is not None
+        assert stats.total_events == 0, stats.events
+        plan.destroy()
+
+    @pytest.mark.parametrize("tp", [1, 2, 3])
+    def test_single_output_alloc_without_out(self, rng, tp):
+        plan = _make_plan(tp, 2, rng)
+        data, _ = _io_pair(plan, tp, 2, rng)
+        for _ in range(2):
+            plan.execute(data)
+        plan.execute(data)
+        stats = plan.last_allocs
+        assert stats.allocs == 1 and stats.copies == 0, stats.events
+        assert stats.events[0][1] == "output block"
+        plan.destroy()
+
+    def test_churn_baseline_counts_reallocations(self, rng):
+        plan = _make_plan(1, 2, rng, reuse_workspace=False)
+        data, out = _io_pair(plan, 1, 2, rng)
+        for _ in range(2):
+            plan.execute(data, out=out)
+        plan.execute(data, out=out)
+        # fine grid + FFT result adoption both churn every execute
+        assert plan.last_allocs.allocs >= 2
+        plan.destroy()
+
+    def test_workspace_reused_ram_flat(self, rng):
+        plan = _make_plan(1, 2, rng)
+        data, out = _io_pair(plan, 1, 2, rng)
+        plan.execute(data, out=out)
+        baseline = plan.gpu_ram_mb()
+        for _ in range(5):
+            plan.execute(data, out=out)
+        assert plan.gpu_ram_mb() == baseline
+        names = set(plan.workspace.names())
+        assert {"fine grid", "cufft workspace"} <= names
+        plan.destroy()
+        assert plan.workspace.nbytes == 0
+
+
+class TestNonContiguousInputs:
+    @pytest.mark.parametrize("tp", [1, 3])
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_strided_strengths_bit_identical(self, rng, tp, ndim):
+        plan = _make_plan(tp, ndim, rng)
+        data, out = _io_pair(plan, tp, ndim, rng)
+        ref = plan.execute(data).copy()
+
+        wide = np.zeros(2 * data.size, dtype=data.dtype)
+        wide[::2] = data
+        strided = wide[::2]
+        assert not strided.flags.c_contiguous
+        plan.execute(strided, out=out)
+        assert np.array_equal(out, ref)
+        assert plan.last_allocs.total_events == 0
+
+        reversed_view = data[::-1][::-1]  # negative stride round-trip view
+        plan.execute(reversed_view, out=out)
+        assert np.array_equal(out, ref)
+        plan.destroy()
+
+    @pytest.mark.parametrize("ndim", [2, 3])
+    def test_f_order_modes_type2(self, rng, ndim):
+        plan = _make_plan(2, ndim, rng)
+        data, out = _io_pair(plan, 2, ndim, rng)
+        ref = plan.execute(data).copy()
+        f_modes = np.asfortranarray(data)
+        assert not f_modes.flags.c_contiguous
+        plan.execute(f_modes, out=out)
+        assert np.array_equal(out, ref)
+        plan.destroy()
+
+    @pytest.mark.parametrize("tp", [1, 2])
+    @pytest.mark.parametrize("ndim", [2, 3])
+    def test_f_order_out_bit_identical(self, rng, tp, ndim):
+        plan = _make_plan(tp, ndim, rng)
+        data, out = _io_pair(plan, tp, ndim, rng)
+        ref = plan.execute(data).copy()
+        f_out = np.asfortranarray(np.empty_like(out))
+        if f_out.ndim > 1:
+            assert not f_out.flags.c_contiguous
+        plan.execute(data, out=f_out)
+        assert np.array_equal(f_out, ref)
+        plan.destroy()
+
+    def test_strided_out_destination(self, rng):
+        plan = _make_plan(1, 2, rng)
+        data, out = _io_pair(plan, 1, 2, rng)
+        ref = plan.execute(data).copy()
+        n1, n2 = ref.shape
+        backing = np.zeros((n1, 2 * n2), dtype=ref.dtype)
+        strided_out = backing[:, ::2]
+        assert not strided_out.flags.c_contiguous
+        plan.execute(data, out=strided_out)
+        assert np.array_equal(strided_out, ref)
+        assert np.all(backing[:, 1::2] == 0)  # gaps untouched
+        plan.destroy()
+
+
+class TestSpreadOnlyPrecision:
+    """Satellite pin: ``spread_only`` returns plan precision for both types."""
+
+    @pytest.mark.parametrize("precision,expect", [
+        ("single", np.complex64), ("double", np.complex128)])
+    def test_type1_spread_only_dtype(self, rng, precision, expect):
+        x, y = _points(rng, 2, 400)
+        plan = Plan(1, (16, 16), eps=1e-6, precision=precision,
+                    spread_only=True)
+        plan.set_pts(x, y)
+        grid = plan.execute(_strengths(rng, 400, expect))
+        assert grid.dtype == np.dtype(expect)
+        assert grid.shape == plan.fine_shape
+        plan.destroy()
+
+    @pytest.mark.parametrize("precision,expect", [
+        ("single", np.complex64), ("double", np.complex128)])
+    def test_type2_spread_only_dtype(self, rng, precision, expect):
+        x, y = _points(rng, 2, 400)
+        plan = Plan(2, (16, 16), eps=1e-6, precision=precision,
+                    spread_only=True)
+        plan.set_pts(x, y)
+        fine = (rng.standard_normal(plan.fine_shape)
+                + 1j * rng.standard_normal(plan.fine_shape)).astype(expect)
+        values = plan.execute(fine)
+        assert values.dtype == np.dtype(expect)
+        assert values.shape == (400,)
+        plan.destroy()
+
+
+class TestSimpleApiOut:
+    def test_simple_out_round_trip(self, rng):
+        x, = _points(rng, 1, 500)
+        c = _strengths(rng, 500, np.complex128)
+        out = np.empty(24, dtype=np.complex128)
+        got = nufft1d1(x, c, 24, out=out)
+        assert got is out
+        assert np.array_equal(out, nufft1d1(x, c, 24))
+
+    def test_simple_out_all_types_2d(self, rng):
+        x, y = _points(rng, 2, 500)
+        c = _strengths(rng, 500, np.complex64)
+        modes = _strengths(rng, 16 * 12, np.complex64).reshape(16, 12)
+        s = rng.uniform(-20, 20, 30)
+        t = rng.uniform(-20, 20, 30)
+        for fn, args, shape in [
+            (nufft2d1, (x, y, c, (16, 12)), (16, 12)),
+            (nufft2d2, (x, y, modes), (500,)),
+            (nufft2d3, (x, y, c, s, t), (30,)),
+        ]:
+            out = np.empty(shape, dtype=np.complex64)
+            assert fn(*args, out=out) is out
+            assert np.array_equal(out, fn(*args))
+
+    def test_out_validation(self, rng):
+        x, y = _points(rng, 2, 300)
+        c = _strengths(rng, 300, np.complex64)
+        plan = Plan(1, (16, 12), eps=1e-6, precision="single")
+        plan.set_pts(x, y)
+        with pytest.raises(ValueError):
+            plan.execute(c, out=np.empty((12, 16), dtype=np.complex64))
+        with pytest.raises(ValueError):
+            plan.execute(c, out=np.empty((16, 12), dtype=np.complex128))
+        plan.destroy()
+
+
+class TestAllocCounter:
+    def test_nested_tracking_and_counted_astype(self):
+        data = np.ones(8, dtype=np.complex64)
+        with track_allocs() as outer:
+            with track_allocs() as inner:
+                same = as_dtype_counted(data, np.complex64)
+                assert same is data
+                converted = as_dtype_counted(data, np.complex128)
+            assert converted.dtype == np.complex128
+        assert inner.copies == 1 and outer.copies == 1
+        assert inner.allocs == 0
+        assert outer.total_events == 1

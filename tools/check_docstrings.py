@@ -28,6 +28,9 @@ if SRC not in sys.path:
 AUDITED = {
     "repro": {"require_examples": False},
     "repro.core.simple": {"require_examples": True},
+    "repro.core.workspace": {"require_examples": False},
+    "repro.cufinufft": {"require_examples": False},
+    "repro.finufft": {"require_examples": False},
     "repro.faults": {"require_examples": False},
     "repro.service": {"require_examples": False},
     "repro.service.frontend": {"require_examples": False},
