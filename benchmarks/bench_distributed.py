@@ -1,0 +1,148 @@
+"""Distributed NUFFT benchmark: strong scaling, halo traffic, comm overlap.
+
+One oversized type-1 (and, in the full run, type-2) problem is fixed and
+executed by :class:`~repro.cluster.distributed.DistributedPlan` at growing
+rank counts on a simulated Cori GPU node (Sec. V's environment).  Reported
+per rank count: the slowest rank's modelled compute, the SimComm-charged
+communication phases (scatter / halo / transpose / gather), the
+halo-behind-local-FFT overlap credit, the resulting makespan, the
+strong-scaling efficiency relative to one rank, and the exact halo volume.
+
+Results merge into ``BENCH_throughput.json`` under the ``"distributed"``
+key.  ``--quick`` selects the CI smoke configuration, which gates:
+
+* 4-rank strong-scaling efficiency >= 0.7;
+* every rank count's output within ``10 * eps`` of the single-plan
+  reference;
+* measured halo bytes == the analytic halo-volume formula, exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_distributed.py`
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks.common import emit  # noqa: E402
+from repro.cluster import run_strong_scaling_multinode  # noqa: E402
+from repro.core.gridsize import fine_grid_shape  # noqa: E402
+from repro.core.slab import analytic_halo_bytes  # noqa: E402
+from repro.kernels import ESKernel  # noqa: E402
+
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+
+
+def _sweeps(quick):
+    """(label, kwargs) per strong-scaling sweep."""
+    if quick:
+        return [("type1 32^3", dict(
+            nufft_type=1, n_modes=(32, 32, 32), n_points=60_000,
+            eps=1e-9, rank_counts=(1, 2, 4), precision="double",
+        ))]
+    return [
+        ("type1 48^3", dict(
+            nufft_type=1, n_modes=(48, 48, 48), n_points=200_000,
+            eps=1e-9, rank_counts=(1, 2, 4, 8), precision="double",
+        )),
+        ("type2 48^3", dict(
+            nufft_type=2, n_modes=(48, 48, 48), n_points=200_000,
+            eps=1e-9, rank_counts=(1, 2, 4, 8), precision="double",
+        )),
+    ]
+
+
+def _sweep_record(label, kwargs, result):
+    """JSON record of one sweep, halo bytes cross-checked analytically."""
+    kernel = ESKernel.from_tolerance(kwargs["eps"])
+    fine_shape = fine_grid_shape(kwargs["n_modes"], kernel.width)
+    itemsize = 16 if kwargs["precision"] == "double" else 8
+    efficiency = result.efficiency()
+    points = []
+    for i, p in enumerate(result.points):
+        expected_halo = analytic_halo_bytes(
+            fine_shape, p.n_ranks, kernel.width, itemsize
+        )
+        assert p.halo_bytes == expected_halo, (
+            f"{label} P={p.n_ranks}: measured halo bytes {p.halo_bytes} != "
+            f"analytic {expected_halo}"
+        )
+        comm_hidden = p.overlap_s / p.comm_s if p.comm_s > 0 else 0.0
+        points.append({
+            "n_ranks": p.n_ranks,
+            "compute_s": p.compute_s,
+            "comm_s": p.comm_s,
+            "overlap_s": p.overlap_s,
+            "makespan_s": p.makespan_s,
+            "efficiency": efficiency[i],
+            "halo_bytes": p.halo_bytes,
+            "transpose_bytes": p.transpose_bytes,
+            "comm_hidden_fraction": comm_hidden,
+            "rel_err": p.rel_err,
+        })
+    return {
+        "label": label,
+        "nufft_type": kwargs["nufft_type"],
+        "n_modes": list(kwargs["n_modes"]),
+        "n_points": kwargs["n_points"],
+        "eps": kwargs["eps"],
+        "precision": kwargs["precision"],
+        "node": result.node_name,
+        "points": points,
+    }
+
+
+def run_distributed_bench(quick=False):
+    records = []
+    for label, kwargs in _sweeps(quick):
+        result = run_strong_scaling_multinode(task_label=label, **kwargs)
+        records.append(_sweep_record(label, kwargs, result))
+        emit(
+            f"distributed_strong_scaling_{'quick' if quick else label.split()[0]}",
+            f"Distributed strong scaling ({label}, {result.node_name})",
+            ["ranks", "compute ms", "comm ms", "overlap ms", "makespan ms",
+             "efficiency", "halo MB"],
+            [list(row) for row in result.rows()],
+        )
+
+    eff_at_4 = [
+        p["efficiency"] for r in records for p in r["points"]
+        if p["n_ranks"] == 4
+    ]
+    max_rel_err = max(p["rel_err"] for r in records for p in r["points"])
+    summary = {
+        "quick": quick,
+        "sweeps": records,
+        "eps": records[0]["eps"],
+        "min_efficiency_4_ranks": min(eff_at_4),
+        "max_rel_err": max_rel_err,
+        "halo_bytes_exact": True,  # asserted per point in _sweep_record
+    }
+
+    existing = {}
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH) as fh:
+            existing = json.load(fh)
+    existing["distributed"] = summary
+    with open(JSON_PATH, "w") as fh:
+        json.dump(existing, fh, indent=2)
+
+    print(f"\nwrote {JSON_PATH} (distributed section)")
+    print(f"4-rank strong-scaling efficiency: {min(eff_at_4):.3f}")
+    print(f"max |distributed - single plan| rel err: {max_rel_err:.2e} "
+          f"(10*eps = {10 * summary['eps']:.0e})")
+    for r in records:
+        hidden = np.mean([p["comm_hidden_fraction"] for p in r["points"]
+                          if p["n_ranks"] > 1]) if len(r["points"]) > 1 else 0.0
+        print(f"{r['label']}: mean comm hidden behind local FFTs "
+              f"{hidden:.1%} (ranks > 1)")
+    return summary
+
+
+if __name__ == "__main__":
+    run_distributed_bench(quick="--quick" in sys.argv[1:])

@@ -9,24 +9,34 @@ environment in-process:
   latency/bandwidth cost model;
 * :class:`~repro.cluster.node.Node` -- a compute node with ``n_gpus``
   simulated V100s and round-robin rank -> device assignment;
-* :mod:`~repro.cluster.weak_scaling` -- the weak-scaling experiment driver
-  behind Fig. 9.
+* :class:`~repro.cluster.distributed.DistributedPlan` -- one oversized
+  type-1/2 transform domain-decomposed across ranks (slab spreading, halo
+  exchange, slab-decomposed FFT);
+* :mod:`~repro.cluster.weak_scaling` -- the weak- and strong-scaling
+  experiment drivers behind Fig. 9.
 """
 
-from .comm import SimComm, CommCostModel
+from .comm import SimComm, CommCostModel, exchange_all
+from .distributed import DistributedBreakdown, DistributedPlan
 from .fleet import BreakerState, DeviceFleet, DeviceHealth
 from .node import Node, CORI_GPU_NODE, SUMMIT_NODE
 from .weak_scaling import (
     FleetScalingPoint,
     FleetScalingResult,
+    StrongScalingPoint,
+    StrongScalingResult,
     WeakScalingResult,
     run_weak_scaling,
     run_weak_scaling_fleet,
+    run_strong_scaling_multinode,
 )
 
 __all__ = [
     "SimComm",
     "CommCostModel",
+    "exchange_all",
+    "DistributedPlan",
+    "DistributedBreakdown",
     "DeviceFleet",
     "DeviceHealth",
     "BreakerState",
@@ -35,7 +45,10 @@ __all__ = [
     "SUMMIT_NODE",
     "FleetScalingPoint",
     "FleetScalingResult",
+    "StrongScalingPoint",
+    "StrongScalingResult",
     "WeakScalingResult",
     "run_weak_scaling",
     "run_weak_scaling_fleet",
+    "run_strong_scaling_multinode",
 ]

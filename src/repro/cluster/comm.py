@@ -21,7 +21,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["CommCostModel", "SimComm"]
+__all__ = ["CommCostModel", "SimComm", "exchange_all"]
+
+#: Pickled overhead of a small Python object or container header, in bytes.
+#: A deliberate flat estimate -- what matters is that ndarray payloads are
+#: counted exactly and nested containers never *undercount* their contents.
+_SMALL_OBJECT_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,7 @@ class _SharedState:
     size: int
     cost: CommCostModel
     comm_seconds: float = 0.0
+    comm_bytes: int = 0
     mailbox: dict = field(default_factory=dict)
 
 
@@ -109,20 +115,42 @@ class SimComm:
         """Accumulated modelled communication time of this communicator."""
         return self._shared.comm_seconds
 
+    @property
+    def comm_bytes(self):
+        """Accumulated payload bytes charged through the cost model."""
+        return self._shared.comm_bytes
+
     def _charge(self, nbytes):
         self._shared.comm_seconds += self._shared.cost.collective_time(
             nbytes, self._shared.size
         )
+        self._shared.comm_bytes += int(nbytes)
 
     @staticmethod
     def _payload_bytes(obj):
+        """Modelled pickled size of one payload, recursing into containers.
+
+        ndarrays count their exact ``nbytes``; bytes-like objects their
+        length; containers add a flat header plus *all* their children --
+        dicts include their keys, which the previous accounting dropped
+        entirely (a dict of named halo slabs was billed as if the names were
+        free, and an empty container as a full small object).  Everything
+        else falls back to the flat small-object estimate.
+        """
         if isinstance(obj, np.ndarray):
             return obj.nbytes
-        if isinstance(obj, (list, tuple)):
-            return sum(SimComm._payload_bytes(o) for o in obj)
+        if isinstance(obj, (bytes, bytearray, memoryview)):
+            return len(obj)
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            return _SMALL_OBJECT_BYTES + sum(
+                SimComm._payload_bytes(o) for o in obj
+            )
         if isinstance(obj, dict):
-            return sum(SimComm._payload_bytes(o) for o in obj.values())
-        return 64  # pickled small-object overhead
+            return _SMALL_OBJECT_BYTES + sum(
+                SimComm._payload_bytes(k) + SimComm._payload_bytes(v)
+                for k, v in obj.items()
+            )
+        return _SMALL_OBJECT_BYTES  # pickled small-object overhead
 
     # ------------------------------------------------------------------ #
     # collectives
@@ -194,16 +222,69 @@ class SimComm:
         return None
 
     def allreduce(self, sendobj, op=None):
-        """Sum-reduce visible to every rank (root reduce + bcast)."""
-        result = self.reduce(sendobj, op=op, root=0)
-        if self._rank == 0:
-            self._shared.mailbox["allreduce"] = result
-        value = self._shared.mailbox.get("allreduce")
-        if value is None:
-            raise RuntimeError("allreduce on a non-root rank before rank 0")
-        return value
+        """Sum-reduce completed by the last contributing rank view.
+
+        Eager in-process contract: every rank contributes exactly once per
+        round, in any order; contributions before the round completes
+        return ``None``, and the final one returns the round's total (the
+        moment the value "becomes visible" in a real allreduce).  Charged
+        as a reduce of the contributions plus a broadcast of the result.
+        The previous implementation deadlocked for ``size > 1``: it
+        required the root's reduce (needing all contributions) *before*
+        any non-root call, yet raised on non-roots called first.
+        """
+        box = self._shared.mailbox.setdefault("allreduce", {})
+        if self._rank in box:
+            raise RuntimeError(
+                "rank contributed twice to one allreduce round; drive every "
+                "other rank view before contributing again"
+            )
+        box[self._rank] = np.asarray(sendobj)
+        if len(box) < self._shared.size:
+            return None
+        total = None
+        for r in range(self._shared.size):
+            contrib = box[r]
+            total = contrib.copy() if total is None else total + contrib
+        self._charge(
+            self._payload_bytes(list(box.values()))
+            + self._payload_bytes(total) * max(1, self._shared.size - 1)
+        )
+        self._shared.mailbox["allreduce"] = {}
+        return total
 
     def barrier(self):
         """No-op synchronization point (everything is sequential here)."""
         self._charge(0)
         return None
+
+
+def exchange_all(comms, send_matrix):
+    """All-to-all personalized exchange across every rank view at once.
+
+    ``send_matrix[i][j]`` is the payload rank ``i`` sends to rank ``j``
+    (``None`` for nothing); the return value is the transposed receive
+    matrix: ``recv[j][i] = send_matrix[i][j]``.  Diagonal entries stay local
+    and are neither charged nor counted -- only payloads between *distinct*
+    ranks hit the modelled interconnect, as one collective over their summed
+    bytes (``None`` entries are free, unlike a point-to-point ``64``-byte
+    envelope, so structural zero-row halo slabs cost exactly zero).
+
+    The eager in-process collectives on :class:`SimComm` cannot express a
+    per-rank ``alltoall`` return value cleanly, so this driver-level helper
+    takes the whole list of rank views, mirroring how the distributed plan
+    (and the M-TIP driver before it) already iterates over them.
+    """
+    size = comms[0].Get_size()
+    if len(comms) != size:
+        raise ValueError(f"exchange_all needs all {size} rank views")
+    if len(send_matrix) != size or any(len(row) != size for row in send_matrix):
+        raise ValueError(f"send_matrix must be {size}x{size}")
+    nbytes = sum(
+        SimComm._payload_bytes(send_matrix[i][j])
+        for i in range(size)
+        for j in range(size)
+        if i != j and send_matrix[i][j] is not None
+    )
+    comms[0]._charge(nbytes)
+    return [[send_matrix[i][j] for i in range(size)] for j in range(size)]

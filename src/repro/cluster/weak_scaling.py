@@ -30,6 +30,9 @@ __all__ = [
     "FleetScalingPoint",
     "FleetScalingResult",
     "run_weak_scaling_fleet",
+    "StrongScalingPoint",
+    "StrongScalingResult",
+    "run_strong_scaling_multinode",
 ]
 
 
@@ -324,4 +327,129 @@ def run_weak_scaling_fleet(nufft_type=2, n_modes=(32, 32, 32),
             mean_utilization=float(np.mean(service.utilization())),
         ))
         service.close()
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# multi-node strong scaling over the distributed plan
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StrongScalingPoint:
+    """One rank count of a fixed-total-problem (strong-scaling) sweep."""
+
+    n_ranks: int
+    compute_s: float
+    comm_s: float
+    overlap_s: float
+    makespan_s: float
+    halo_bytes: int
+    transpose_bytes: int
+    rel_err: float
+
+
+@dataclass
+class StrongScalingResult:
+    """Strong-scaling curve of one distributed NUFFT problem.
+
+    Unlike the weak-scaling sweeps above, the *total* problem is fixed and
+    the rank count grows, so ideal scaling halves the makespan per doubling:
+    ``efficiency(P) = T(P0) * P0 / (T(P) * P)`` relative to the first swept
+    rank count ``P0``.
+    """
+
+    node_name: str
+    task_label: str
+    points: list = field(default_factory=list)
+
+    def efficiency(self):
+        """Strong-scaling efficiency relative to the first rank count."""
+        if not self.points:
+            return []
+        base = self.points[0].makespan_s * self.points[0].n_ranks
+        return [base / (p.makespan_s * p.n_ranks) for p in self.points]
+
+    def rows(self):
+        """Table rows: (ranks, compute ms, comm ms, overlap ms, makespan ms,
+        efficiency, halo MB)."""
+        eff = self.efficiency()
+        return [
+            (p.n_ranks, p.compute_s * 1e3, p.comm_s * 1e3, p.overlap_s * 1e3,
+             p.makespan_s * 1e3, eff[i], p.halo_bytes / 1e6)
+            for i, p in enumerate(self.points)
+        ]
+
+
+def run_strong_scaling_multinode(nufft_type=1, n_modes=(64, 64, 64),
+                                 n_points=200_000, eps=1e-9,
+                                 rank_counts=(1, 2, 4, 8), node_spec=None,
+                                 precision="double", n_trans=1, seed=0,
+                                 task_label="", check_equivalence=True):
+    """Strong-scale one distributed NUFFT across growing rank counts.
+
+    Fixes a single type-1 or type-2 problem (``n_modes`` x ``n_points`` at
+    tolerance ``eps``) and executes it with a
+    :class:`~repro.cluster.distributed.DistributedPlan` at every rank count
+    in ``rank_counts`` over one ``node_spec`` node (Cori GPU by default,
+    ranks round-robined onto its GPUs).  The identical seeded points and
+    strengths are reused at every rank count, so the sweep isolates the
+    decomposition: modelled makespans combine the slowest rank's kernel time
+    (contention included), the SimComm charges of scatter / halo / transpose
+    / gather, and the halo-behind-local-FFT overlap credit.
+
+    With ``check_equivalence`` (default) a single-plan reference is computed
+    once and every point carries its relative error against it -- the CI
+    gate asserts it stays within ``10 * eps``.
+
+    Returns a :class:`StrongScalingResult`.
+    """
+    from ..core.plan import Plan
+    from .distributed import DistributedPlan
+
+    node_spec = node_spec if node_spec is not None else CORI_GPU_NODE
+    ndim = len(n_modes)
+    rng = np.random.default_rng(seed)
+    coords = [rng.uniform(-np.pi, np.pi, n_points) for _ in range(ndim)]
+    shape = (n_points,) if nufft_type == 1 else tuple(n_modes)
+    data = rng.standard_normal((n_trans,) + shape) \
+        + 1j * rng.standard_normal((n_trans,) + shape)
+    if n_trans == 1:
+        data = data[0]
+
+    reference = None
+    ref_scale = 1.0
+    if check_equivalence:
+        with Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps,
+                  precision=precision) as single:
+            single.set_pts(*coords)
+            reference = np.asarray(single.execute(data))
+        ref_scale = max(float(np.max(np.abs(reference))), 1e-300)
+
+    result = StrongScalingResult(
+        node_name=node_spec.name,
+        task_label=task_label
+        or f"type{nufft_type} N={'x'.join(str(n) for n in n_modes)} distributed",
+    )
+    for n_ranks in rank_counts:
+        node = Node(spec=node_spec)
+        with DistributedPlan(nufft_type, n_modes, n_ranks=n_ranks,
+                             n_trans=n_trans, eps=eps, node=node,
+                             precision=precision) as plan:
+            plan.set_pts(*coords)
+            output = plan.execute(data)
+            b = plan.last_breakdown
+            rel_err = 0.0
+            if reference is not None:
+                rel_err = float(
+                    np.max(np.abs(np.asarray(output) - reference)) / ref_scale
+                )
+            result.points.append(StrongScalingPoint(
+                n_ranks=int(n_ranks),
+                compute_s=b.compute_s,
+                comm_s=b.comm_s,
+                overlap_s=b.overlap_s,
+                makespan_s=b.makespan_s,
+                halo_bytes=b.halo_bytes,
+                transpose_bytes=b.transpose_bytes,
+                rel_err=rel_err,
+            ))
     return result

@@ -61,6 +61,7 @@ class ServiceStats:
     requests_failed: int = 0
     blocks_executed: int = 0
     shards_executed: int = 0
+    distributed_requests: int = 0
     solves_served: int = 0
     solve_shards: int = 0
     solve_cg_iterations: int = 0
@@ -261,6 +262,18 @@ class TransformService:
     fault_injector : FaultInjector, optional
         A :class:`~repro.faults.FaultInjector` to attach to every fleet
         device (chaos testing / resilience benchmarks).
+    distributed_threshold_points : int, optional
+        Point count at or above which a queued type-1/2 request bypasses
+        the fused single-device path and is served by a
+        :class:`~repro.cluster.distributed.DistributedPlan` spanning
+        ``distributed_ranks`` simulated ranks (domain-decomposed spreading,
+        halo exchange, slab FFT).  ``None`` (default) disables routing;
+        :meth:`execute_distributed` stays available either way.
+    distributed_ranks : int
+        Rank count for distributed execution (default 4).
+    distributed_node : Node or NodeSpec, optional
+        Node hosting the distributed ranks; defaults to a fresh
+        Cori-GPU-like node per distributed request.
     """
 
     def __init__(self, fleet=None, n_devices=1, streams_per_device=2,
@@ -269,7 +282,8 @@ class TransformService:
                  dispatch_latency_s=2.0e-5, charge_plan_creation=True,
                  shared_host_link=True, tune="off", tuner=None,
                  tuning_cache_path=None, retry=None, max_queue_depth=None,
-                 fault_injector=None):
+                 fault_injector=None, distributed_threshold_points=None,
+                 distributed_ranks=4, distributed_node=None):
         self.fleet = fleet if fleet is not None else DeviceFleet(
             n_devices=n_devices, streams_per_device=streams_per_device
         )
@@ -309,6 +323,20 @@ class TransformService:
                     f"max_queue_depth must be >= 1, got {max_queue_depth}"
                 )
         self.max_queue_depth = max_queue_depth
+        if distributed_threshold_points is not None:
+            distributed_threshold_points = int(distributed_threshold_points)
+            if distributed_threshold_points < 1:
+                raise ValueError(
+                    "distributed_threshold_points must be >= 1, got "
+                    f"{distributed_threshold_points}"
+                )
+        self.distributed_threshold_points = distributed_threshold_points
+        self.distributed_ranks = int(distributed_ranks)
+        if self.distributed_ranks < 1:
+            raise ValueError(
+                f"distributed_ranks must be >= 1, got {distributed_ranks}"
+            )
+        self.distributed_node = distributed_node
         self.fault_injector = fault_injector
         if fault_injector is not None:
             fault_injector.attach(self.fleet.devices)
@@ -408,6 +436,7 @@ class TransformService:
         if not queue and not shed:
             return []
         results = dict(shed)
+        queue = self._route_distributed(queue, results)
         for block in self._group(queue):
             shards = self._shards(block)
             if len(shards) == 1:
@@ -428,6 +457,115 @@ class TransformService:
                     self._execute_shard(shard, results, device=device)
             self.stats.blocks_executed += 1
         return [results[seq] for seq in sorted(results)]
+
+    def _route_distributed(self, queue, results):
+        """Peel oversized requests off the queue onto the distributed path.
+
+        With ``distributed_threshold_points`` set, any queued type-1/2
+        request whose point count meets the threshold is served by a
+        multi-rank :class:`~repro.cluster.distributed.DistributedPlan`
+        instead of a fused single-device block (type 3 has no slab
+        decomposition and always stays on the fleet).  A failing
+        distributed request yields its own ``error`` result without
+        disturbing the rest of the queue.  Returns the remaining queue.
+        """
+        if self.distributed_threshold_points is None:
+            return queue
+        kept = []
+        for seq, req in queue:
+            if (req.nufft_type not in (1, 2)
+                    or req.n_points < self.distributed_threshold_points):
+                kept.append((seq, req))
+                continue
+            try:
+                results[seq] = self._serve_distributed(req)
+            except Exception as exc:
+                self._note_failure(exc)
+                self.stats.requests_failed += 1
+                results[seq] = TransformResult(
+                    tag=req.tag, error=exc, error_type=type(exc).__name__,
+                    error_message=str(exc),
+                )
+        return kept
+
+    def execute_distributed(self, request=None, n_ranks=None, node=None,
+                            **kwargs):
+        """Serve one request on a multi-rank distributed plan, immediately.
+
+        Accepts a prebuilt :class:`TransformRequest` or its fields as
+        keywords (same front door as :meth:`submit`); the transform runs on
+        a fresh :class:`~repro.cluster.distributed.DistributedPlan` over
+        ``n_ranks`` simulated ranks (default ``distributed_ranks``) hosted
+        on ``node`` (default ``distributed_node``).  Only types 1 and 2
+        decompose; type 3 raises :class:`ValueError`.
+
+        Returns
+        -------
+        TransformResult
+            ``device_id`` is ``-1`` (the work spans ranks, not one fleet
+            device) and ``modelled_seconds`` carries the distributed
+            breakdown: ``exec`` (slowest rank's compute), ``comm``,
+            ``overlap``, ``makespan``, plus exact ``halo_bytes`` and
+            ``transpose_bytes``.
+        """
+        self._require_open()
+        if request is None:
+            request = TransformRequest(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a TransformRequest or keyword fields, not both")
+        if not isinstance(request, TransformRequest):
+            raise TypeError(f"expected a TransformRequest, got {type(request).__name__}")
+        self.stats.requests_submitted += 1
+        return self._serve_distributed(request, n_ranks=n_ranks, node=node)
+
+    def _serve_distributed(self, request, n_ranks=None, node=None):
+        """Run one validated request through a fresh DistributedPlan."""
+        from ..cluster.distributed import DistributedPlan
+
+        if request.nufft_type not in (1, 2):
+            raise ValueError(
+                "distributed execution supports types 1 and 2 only; type "
+                f"{request.nufft_type} has no slab decomposition"
+            )
+        n_ranks = int(n_ranks if n_ranks is not None else self.distributed_ranks)
+        overrides = {"precision": request.precision}
+        if request.isign is not None:
+            overrides["isign"] = request.isign
+        plan = DistributedPlan(
+            request.nufft_type, request.n_modes, n_ranks=n_ranks,
+            eps=request.eps,
+            node=node if node is not None else self.distributed_node,
+            **overrides,
+        )
+        try:
+            plan.set_pts(**request.setpts_kwargs())
+            output = plan.execute(request.data)
+            breakdown = plan.last_breakdown
+        finally:
+            plan.destroy()
+        # Distributed requests run on their own node, off the fleet streams;
+        # only the host-side dispatch and the modelled makespan serialize on
+        # the submission thread.
+        self._host_frontier += self.dispatch_latency_s + breakdown.makespan_s
+        modelled = {
+            "h2d": 0.0,
+            "exec": breakdown.compute_s,
+            "d2h": 0.0,
+            "comm": breakdown.comm_s,
+            "overlap": breakdown.overlap_s,
+            "makespan": breakdown.makespan_s,
+            "halo_bytes": float(breakdown.halo_bytes),
+            "transpose_bytes": float(breakdown.transpose_bytes),
+            "n_ranks": float(breakdown.n_ranks),
+        }
+        self.stats.modelled_engine_seconds["exec"] += breakdown.compute_s
+        self.stats.distributed_requests += 1
+        self.stats.requests_served += 1
+        return TransformResult(
+            tag=request.tag, output=output, device_id=-1, block_size=1,
+            modelled_seconds=modelled, completed_at=self._host_frontier,
+            tenant=request.tenant,
+        )
 
     def _group(self, queue):
         """Coalesce the queue into same-geometry/same-points blocks."""

@@ -1,0 +1,263 @@
+"""Unit tests for the simulated-MPI primitives: SimComm, Node, exchange_all.
+
+These pin down the exact-byte payload accounting the distributed halo tests
+rely on (:meth:`SimComm._payload_bytes` must count ndarrays exactly and never
+undercount nested containers), the eager collective semantics (driving order,
+error contracts), and the round-robin rank -> device mapping of
+:class:`~repro.cluster.node.Node`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CommCostModel, SimComm, exchange_all
+from repro.cluster.comm import _SMALL_OBJECT_BYTES
+from repro.cluster.node import CORI_GPU_NODE, SUMMIT_NODE, Node
+
+
+# --------------------------------------------------------------------- #
+# payload accounting: exact bytes, nested containers included
+# --------------------------------------------------------------------- #
+class TestPayloadBytes:
+    def test_ndarray_exact(self):
+        a = np.zeros((3, 5), dtype=np.complex128)
+        assert SimComm._payload_bytes(a) == a.nbytes == 240
+        assert SimComm._payload_bytes(np.zeros(0, dtype=np.float32)) == 0
+
+    def test_bytes_like_exact(self):
+        assert SimComm._payload_bytes(b"abcdef") == 6
+        assert SimComm._payload_bytes(bytearray(17)) == 17
+        assert SimComm._payload_bytes(memoryview(bytes(9))) == 9
+
+    def test_scalar_flat_estimate(self):
+        for obj in (None, 3, 2.5, "halo", object()):
+            assert SimComm._payload_bytes(obj) == _SMALL_OBJECT_BYTES
+
+    def test_flat_list(self):
+        a = np.zeros(10, dtype=np.float64)
+        b = np.zeros(4, dtype=np.complex64)
+        expected = _SMALL_OBJECT_BYTES + a.nbytes + b.nbytes
+        assert SimComm._payload_bytes([a, b]) == expected
+        assert SimComm._payload_bytes((a, b)) == expected
+
+    def test_empty_containers_are_one_header(self):
+        assert SimComm._payload_bytes([]) == _SMALL_OBJECT_BYTES
+        assert SimComm._payload_bytes({}) == _SMALL_OBJECT_BYTES
+        assert SimComm._payload_bytes(()) == _SMALL_OBJECT_BYTES
+        assert SimComm._payload_bytes(set()) == _SMALL_OBJECT_BYTES
+
+    def test_dict_counts_keys_and_values(self):
+        """The regression the fix targets: dict *keys* must be billed too."""
+        a = np.zeros(100, dtype=np.float64)
+        b = np.zeros(50, dtype=np.float64)
+        payload = {"north": a, "south": b}
+        expected = (
+            _SMALL_OBJECT_BYTES                      # dict header
+            + 2 * _SMALL_OBJECT_BYTES                # the two string keys
+            + a.nbytes + b.nbytes
+        )
+        assert SimComm._payload_bytes(payload) == expected
+
+    def test_nested_containers_never_undercount(self):
+        """Nesting adds headers; the ndarray leaves stay exact."""
+        a = np.zeros(8, dtype=np.float32)
+        nested = {"slabs": [a, a], "meta": {"rank": 3}}
+        expected = (
+            _SMALL_OBJECT_BYTES                       # outer dict
+            + _SMALL_OBJECT_BYTES + (_SMALL_OBJECT_BYTES + 2 * a.nbytes)
+            + _SMALL_OBJECT_BYTES + (_SMALL_OBJECT_BYTES
+                                     + 2 * _SMALL_OBJECT_BYTES)
+        )
+        assert SimComm._payload_bytes(nested) == expected
+        # strictly more than the flattened leaf bytes (no undercounting)
+        assert SimComm._payload_bytes(nested) > 2 * a.nbytes
+
+
+# --------------------------------------------------------------------- #
+# cost model
+# --------------------------------------------------------------------- #
+class TestCommCostModel:
+    def test_latency_plus_bandwidth(self):
+        cm = CommCostModel(latency_s=1e-6, bandwidth=1e9)
+        # 8 ranks -> 3 hops of latency; 1e9 bytes -> 1 second on the wire.
+        assert cm.collective_time(10**9, 8) == pytest.approx(1.0 + 3e-6)
+        assert cm.collective_time(0, 2) == pytest.approx(1e-6)
+        # single rank still pays one latency hop
+        assert cm.collective_time(0, 1) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        cm = CommCostModel()
+        with pytest.raises(ValueError):
+            cm.collective_time(10, 0)
+        with pytest.raises(ValueError):
+            cm.collective_time(-1, 2)
+
+
+# --------------------------------------------------------------------- #
+# collectives: semantics, driving order, byte/second counters
+# --------------------------------------------------------------------- #
+class TestSimComm:
+    def test_create_validates_size(self):
+        with pytest.raises(ValueError):
+            SimComm.create(0)
+
+    def test_rank_introspection(self):
+        comms = SimComm.create(3)
+        assert [c.Get_rank() for c in comms] == [0, 1, 2]
+        assert all(c.Get_size() == 3 for c in comms)
+        assert comms[1].rank == 1 and comms[1].size == 3
+
+    def test_scatter_roundtrip_and_counters(self):
+        comms = SimComm.create(4)
+        payloads = [np.full(5, r, dtype=np.float64) for r in range(4)]
+        got = [comms[0].scatter(payloads)]          # root drives first
+        got += [comms[r].scatter(None) for r in (1, 2, 3)]
+        for r, arr in enumerate(got):
+            assert np.array_equal(arr, payloads[r])
+        expected_bytes = SimComm._payload_bytes(payloads)
+        assert comms[0].comm_bytes == expected_bytes
+        assert comms[0].comm_seconds > 0.0
+
+    def test_scatter_errors(self):
+        comms = SimComm.create(2)
+        with pytest.raises(RuntimeError):
+            comms[1].scatter(None)                   # non-root before the root
+        with pytest.raises(ValueError):
+            comms[0].scatter([1, 2, 3])              # wrong payload count
+
+    def test_gather_requires_all_ranks_before_root(self):
+        comms = SimComm.create(3)
+        comms[1].gather("b")
+        with pytest.raises(RuntimeError):
+            comms[0].gather("a")                     # rank 2 missing
+        # a fresh full round works, root driven last
+        comms = SimComm.create(3)
+        assert comms[1].gather("b") is None
+        assert comms[2].gather("c") is None
+        assert comms[0].gather("a") == ["a", "b", "c"]
+
+    def test_bcast(self):
+        comms = SimComm.create(3)
+        obj = np.arange(4)
+        out0 = comms[0].bcast(obj)
+        assert np.array_equal(comms[2].bcast(None), obj)
+        assert np.array_equal(out0, obj)
+        assert comms[0].comm_bytes == obj.nbytes * 2  # size-1 receivers
+        with pytest.raises(RuntimeError):
+            SimComm.create(2)[1].bcast(None)
+
+    def test_reduce_and_allreduce(self):
+        comms = SimComm.create(4)
+        for r in (1, 2, 3):
+            assert comms[r].reduce(np.full(3, r)) is None
+        total = comms[0].reduce(np.full(3, 0))
+        assert np.array_equal(total, np.full(3, 0 + 1 + 2 + 3))
+
+    def test_allreduce_last_contributor_closes_round(self):
+        comms = SimComm.create(3)
+        assert comms[2].allreduce(np.full(2, 4.0)) is None
+        assert comms[0].allreduce(np.full(2, 1.0)) is None
+        total = comms[1].allreduce(np.full(2, 2.0))
+        assert np.array_equal(total, np.full(2, 7.0))
+        # a second round starts clean
+        assert comms[0].allreduce(np.ones(2)) is None
+        with pytest.raises(RuntimeError):
+            comms[0].allreduce(np.ones(2))  # double contribution
+        assert comms[1].allreduce(np.ones(2)) is None
+        assert np.array_equal(comms[2].allreduce(np.ones(2)), 3 * np.ones(2))
+
+    def test_barrier_charges_latency_not_bytes(self):
+        comms = SimComm.create(4)
+        before_s, before_b = comms[0].comm_seconds, comms[0].comm_bytes
+        comms[0].barrier()
+        assert comms[0].comm_bytes == before_b
+        assert comms[0].comm_seconds > before_s
+
+    def test_comm_seconds_monotone(self):
+        comms = SimComm.create(2)
+        seen = [comms[0].comm_seconds]
+        comms[0].bcast(np.zeros(100))
+        seen.append(comms[0].comm_seconds)
+        comms[0].barrier()
+        seen.append(comms[0].comm_seconds)
+        comms[0].scatter([np.zeros(10), np.zeros(10)])
+        comms[1].scatter(None)
+        seen.append(comms[0].comm_seconds)
+        assert all(b > a for a, b in zip(seen, seen[1:]))
+
+
+# --------------------------------------------------------------------- #
+# exchange_all (the halo / transpose primitive)
+# --------------------------------------------------------------------- #
+class TestExchangeAll:
+    def test_transposes_the_send_matrix(self):
+        comms = SimComm.create(3)
+        send = [[(i, j) for j in range(3)] for i in range(3)]
+        recv = exchange_all(comms, send)
+        for j in range(3):
+            for i in range(3):
+                assert recv[j][i] == (i, j)
+
+    def test_charges_only_off_diagonal_non_none(self):
+        comms = SimComm.create(3)
+        a = np.zeros(11, dtype=np.complex64)
+        send = [[None] * 3 for _ in range(3)]
+        send[0][0] = np.zeros(999)        # diagonal: stays local, free
+        send[0][1] = a                    # the only charged payload
+        send[2][1] = None                 # None: free (no envelope)
+        exchange_all(comms, send)
+        assert comms[0].comm_bytes == a.nbytes
+        # pure-ndarray payloads mean the charge has no container overhead
+        assert comms[0].comm_bytes % a.itemsize == 0
+
+    def test_validates_shapes(self):
+        comms = SimComm.create(2)
+        with pytest.raises(ValueError):
+            exchange_all(comms[:1], [[None, None], [None, None]])
+        with pytest.raises(ValueError):
+            exchange_all(comms, [[None], [None]])
+
+
+# --------------------------------------------------------------------- #
+# node model: round-robin ranks, contention
+# --------------------------------------------------------------------- #
+class TestNode:
+    def test_specs(self):
+        assert CORI_GPU_NODE.n_gpus == 8
+        assert SUMMIT_NODE.n_gpus == 6
+
+    def test_round_robin_assignment(self):
+        node = Node(spec=SUMMIT_NODE)
+        devices = node.assign_ranks(9)
+        assert [d.device_id for d in devices] == [0, 1, 2, 3, 4, 5, 0, 1, 2]
+        # shared devices picked up extra contexts
+        assert devices[0].active_contexts == 2
+        assert devices[3].active_contexts == 1
+        node.release_all()
+        assert all(d.active_contexts == 0 for d in node.devices)
+
+    def test_device_for_rank_validation(self):
+        node = Node()
+        with pytest.raises(ValueError):
+            node.device_for_rank(-1)
+        assert node.device_for_rank(8).device_id == 0
+
+    def test_assign_ranks_validation(self):
+        node = Node()
+        with pytest.raises(ValueError):
+            node.assign_ranks(0)
+
+    def test_contention_for_ranks(self):
+        node = Node()  # 8 GPUs
+        assert node.contention_for_ranks(1) == 1.0
+        assert node.contention_for_ranks(8) == 1.0
+        assert node.contention_for_ranks(9) == pytest.approx(2 * 1.05)
+        assert node.contention_for_ranks(17) == pytest.approx(3 * 1.05)
+        with pytest.raises(ValueError):
+            node.contention_for_ranks(0)
+
+    def test_sharing_raises_contention_factor(self):
+        node = Node(spec=SUMMIT_NODE)
+        devices = node.assign_ranks(7)  # rank 6 shares device 0
+        assert devices[0].contention_factor > 1.0
+        assert devices[1].contention_factor == 1.0

@@ -29,6 +29,7 @@ AUDITED = {
     "repro": {"require_examples": False},
     "repro.core.simple": {"require_examples": True},
     "repro.core.workspace": {"require_examples": False},
+    "repro.cluster.distributed": {"require_examples": False},
     "repro.cufinufft": {"require_examples": False},
     "repro.finufft": {"require_examples": False},
     "repro.faults": {"require_examples": False},
