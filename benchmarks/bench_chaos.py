@@ -35,6 +35,7 @@ if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_chaos.py`
     sys.path.insert(0, REPO_ROOT)
 
 from benchmarks.common import emit  # noqa: E402
+from repro.core.env import bench_sample_size  # noqa: E402
 from repro.faults import FaultInjector, FaultSpec, fault_seed_from_env  # noqa: E402
 from repro.service import RetryPolicy, TransformService  # noqa: E402
 
@@ -46,7 +47,7 @@ MAX_ATTEMPTS = 8
 
 def _build_requests(quick, rng):
     """Mixed request load: groups of same-points one-shot requests."""
-    m = int(os.environ.get("REPRO_BENCH_SAMPLE", 1 << 10 if quick else 1 << 12))
+    m = bench_sample_size(1 << 10 if quick else 1 << 12)
     n_groups = 16 if quick else 32
     per_group = 3
     requests = []

@@ -40,6 +40,7 @@ if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_qos.py`
     sys.path.insert(0, REPO_ROOT)
 
 from benchmarks.common import emit  # noqa: E402
+from repro.core.env import bench_sample_size  # noqa: E402
 from repro.service import AsyncFrontend, TransformRequest, TransformService  # noqa: E402
 
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
@@ -58,7 +59,7 @@ def _problem(quick, rng):
     Large solo transforms saturate a device on their own; batching them
     buys little and a front-end would pass them straight through.
     """
-    m = int(os.environ.get("REPRO_BENCH_SAMPLE", 1 << 11 if quick else 1 << 12))
+    m = bench_sample_size(1 << 11 if quick else 1 << 12)
     n_modes = (32, 32) if quick else (48, 48)
     x = rng.uniform(-np.pi, np.pi, m)
     y = rng.uniform(-np.pi, np.pi, m)

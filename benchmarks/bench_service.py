@@ -39,6 +39,7 @@ if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_service.py`
     sys.path.insert(0, REPO_ROOT)
 
 from benchmarks.common import emit  # noqa: E402
+from repro.core.env import bench_sample_size  # noqa: E402
 from repro.cluster import run_weak_scaling_fleet  # noqa: E402
 from repro.service import TransformService  # noqa: E402
 
@@ -67,7 +68,7 @@ def _geometry_groups(quick):
 
 def _build_requests(quick, rng):
     """The interleaved request mix: dicts of TransformRequest fields."""
-    m = int(os.environ.get("REPRO_BENCH_SAMPLE", 1 << 12 if quick else 1 << 14))
+    m = bench_sample_size(1 << 12 if quick else 1 << 14)
     per_group = 8 if quick else 16
     groups = []
     for name, nufft_type, n_modes in _geometry_groups(quick):

@@ -32,6 +32,7 @@ if REPO_ROOT not in sys.path:  # allow `python benchmarks/bench_throughput.py`
     sys.path.insert(0, REPO_ROOT)
 
 from benchmarks.common import emit  # noqa: E402
+from repro.core.env import bench_sample_size  # noqa: E402
 from repro import Plan  # noqa: E402
 
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
@@ -46,7 +47,7 @@ QUICK_SAMPLE = 1 << 14
 
 def _sample_points(quick=False):
     default = QUICK_SAMPLE if quick else 1 << 16
-    return int(os.environ.get("REPRO_BENCH_SAMPLE", default))
+    return bench_sample_size(default)
 
 
 def _best_of(fn, repeats):

@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 
 from repro.baselines import get_library
+from repro.core.env import bench_sample_size as env_bench_sample_size
 from repro.core.gridsize import fine_grid_shape
 from repro.core.options import default_bin_shape
 from repro.kernels import ESKernel
@@ -32,7 +33,7 @@ __all__ = [
 
 def bench_sample_size():
     """Number of points sampled per configuration for the occupancy statistics."""
-    return int(os.environ.get("REPRO_BENCH_SAMPLE", 1 << 18))
+    return env_bench_sample_size()
 
 
 def stats_for(distribution, n_points, n_modes, eps, fine_shape=None, rng=0):

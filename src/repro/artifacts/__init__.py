@@ -1,0 +1,39 @@
+"""Unified warm-state artifact store (see :mod:`repro.artifacts.store`).
+
+One versioned, content-addressed cache layer for everything a warmed process
+would otherwise rebuild at startup: stencil/CSR caches, Horner kernel fits,
+tuning wisdom and Toeplitz PSF kernels.  Point a
+:class:`~repro.service.TransformService` (or a bare
+:class:`~repro.core.plan.Plan`) at an :class:`ArtifactStore` directory --
+or export ``REPRO_ARTIFACT_STORE`` -- and restarts skip straight to serving:
+
+>>> import numpy as np
+>>> from repro.artifacts import ArtifactStore
+>>> from repro import Plan
+>>> store = ArtifactStore()            # pass root="/path" to persist
+>>> x = np.linspace(-3, 3, 200)
+>>> with Plan(1, (32,), artifact_store=store) as plan:
+...     _ = plan.set_pts(x)            # builds + stores the stencil
+>>> with Plan(1, (32,), artifact_store=store) as plan:
+...     _ = plan.set_pts(x)            # warm: loads it back instead
+>>> store.stats.by_kind["stencil"]["builds"]
+1
+"""
+
+from .store import (
+    ARRAY_KINDS,
+    RECORD_KINDS,
+    ArtifactStats,
+    ArtifactStore,
+    default_store,
+    reset_default_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactStats",
+    "ARRAY_KINDS",
+    "RECORD_KINDS",
+    "default_store",
+    "reset_default_store",
+]

@@ -1,0 +1,97 @@
+"""Central registry of the environment variables the repro honors.
+
+Every knob the package reads from the process environment goes through this
+module, so the full surface is documented (and testable) in one place instead
+of scattered ``os.environ.get`` calls.  The README's "Environment variables"
+table is generated from :data:`ENV_VARS`.
+
+All helpers treat an *empty or whitespace-only* value as unset, so
+``REPRO_TUNING_CACHE= pytest`` behaves exactly like not exporting the
+variable at all.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "ENV_VARS",
+    "artifact_store_path",
+    "tuning_cache_path",
+    "fault_seed",
+    "no_result_files",
+    "bench_sample_size",
+    "env_str",
+    "env_int",
+]
+
+#: Documented environment variables: name -> one-line description.  This is
+#: the single source of truth the README table renders from.
+ENV_VARS = {
+    "REPRO_ARTIFACT_STORE": (
+        "Directory of the shared warm-state artifact store (stencils, Horner "
+        "fits, tuning wisdom, PSF kernels); unset keeps artifacts in-memory "
+        "per process."
+    ),
+    "REPRO_TUNING_CACHE": (
+        "JSON file backing the default autotuner's wisdom cache; unset keeps "
+        "tuning wisdom in-memory per process."
+    ),
+    "REPRO_FAULT_SEED": (
+        "Integer seed of the deterministic fault-injection schedule "
+        "(default 0)."
+    ),
+    "REPRO_NO_RESULT_FILES": (
+        "Any non-empty value disables writing benchmark tables under "
+        "results/ (CI smoke runs)."
+    ),
+    "REPRO_BENCH_SAMPLE": (
+        "Points sampled per benchmark configuration (default 2^18); smaller "
+        "values speed up the harness at reduced statistical fidelity."
+    ),
+}
+
+
+def env_str(name, default=None):
+    """The raw value of ``name``, or ``default`` when unset/blank."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw
+
+
+def env_int(name, default):
+    """Integer value of ``name`` (``default`` when unset/blank).
+
+    A non-integer value raises ``ValueError`` -- a misspelled seed or sample
+    size should fail loudly, not silently fall back.
+    """
+    raw = env_str(name)
+    if raw is None:
+        return int(default)
+    return int(raw)
+
+
+def artifact_store_path(default=None):
+    """Directory named by ``REPRO_ARTIFACT_STORE`` (``default`` when unset)."""
+    return env_str("REPRO_ARTIFACT_STORE", default)
+
+
+def tuning_cache_path(default=None):
+    """File named by ``REPRO_TUNING_CACHE`` (``default`` when unset)."""
+    return env_str("REPRO_TUNING_CACHE", default)
+
+
+def fault_seed(default=0):
+    """The fault-injection seed from ``REPRO_FAULT_SEED``."""
+    return env_int("REPRO_FAULT_SEED", default)
+
+
+def no_result_files():
+    """Whether ``REPRO_NO_RESULT_FILES`` suppresses benchmark result files."""
+    return env_str("REPRO_NO_RESULT_FILES") is not None
+
+
+def bench_sample_size(default=1 << 18):
+    """Benchmark sample size from ``REPRO_BENCH_SAMPLE``."""
+    return env_int("REPRO_BENCH_SAMPLE", default)

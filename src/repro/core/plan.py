@@ -27,6 +27,8 @@ timings -- "exec", "total" and "total+mem" -- are derived by the cost model.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..backends import get_backend
@@ -103,7 +105,8 @@ class Plan:
     """
 
     def __init__(self, nufft_type, n_modes, n_trans=1, eps=1e-6, opts=None,
-                 device=None, tune="off", tuner=None, **opt_overrides):
+                 device=None, tune="off", tuner=None, artifact_store=None,
+                 **opt_overrides):
         if nufft_type not in (1, 2, 3):
             raise ValueError(f"nufft_type must be 1, 2 or 3, got {nufft_type}")
         n_trans_f = float(n_trans)
@@ -148,6 +151,10 @@ class Plan:
             raise ValueError(f"tune must be one of {TUNE_MODES}, got {tune!r}")
         self.tune_mode = tune
         self._tuner = tuner
+        #: Warm-state :class:`~repro.artifacts.ArtifactStore` this plan loads
+        #: stencil caches (and Horner fits) from instead of recomputing.
+        #: ``None`` keeps the plan self-contained.
+        self.artifact_store = artifact_store
         #: :class:`~repro.tuning.TuningResult` applied by the last ``set_pts``
         #: (None when tuning is off or no points have been set yet).
         self.tuned = None
@@ -466,12 +473,20 @@ class Plan:
         # re-evaluates kernels on the fly, the cached backend requires it.
         self._stencil = None
         if self.backend.wants_stencil_cache(self.opts):
+            points_digest = None
+            if self.artifact_store is not None:
+                h = hashlib.blake2b(digest_size=16)
+                for c in self._grid_coords:
+                    h.update(np.ascontiguousarray(c).tobytes())
+                points_digest = h.hexdigest()
             self._stencil = build_stencil_cache(
                 self._grid_coords,
                 self.fine_shape,
                 self.kernel,
                 kernel_eval=self.opts.kernel_eval,
                 fuse_budget=self.opts.stencil_budget,
+                store=self.artifact_store,
+                points_digest=points_digest,
             )
         if self.method is SpreadMethod.SM and self.nufft_type != 2:
             self._subproblems = make_subproblems(self._sort, self.opts.max_subproblem_size)
@@ -616,7 +631,8 @@ class Plan:
         inner_opts = self.opts.copy(spread_only=False, bin_shape=None,
                                     isign=self.isign)
         self._t3_inner = Plan(2, self.fine_shape, n_trans=self.n_trans,
-                              eps=self.eps, opts=inner_opts, device=self.device)
+                              eps=self.eps, opts=inner_opts, device=self.device,
+                              artifact_store=self.artifact_store)
         rescaled_targets = [
             (targets[d] - centers_s[d]) * (np.pi / (sigma * spread_half[d]))
             for d in range(self.ndim)

@@ -33,7 +33,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["StencilCache", "build_stencil_cache", "DEFAULT_FUSE_BUDGET"]
+__all__ = [
+    "StencilCache",
+    "build_stencil_cache",
+    "stencil_cache_arrays",
+    "stencil_cache_from_arrays",
+    "stencil_cache_key",
+    "DEFAULT_FUSE_BUDGET",
+]
 
 #: Maximum number of fused stencil entries (``M * w^d``) materialized by the
 #: cache; above this only the per-dimension arrays are kept.  32M entries is
@@ -144,7 +151,8 @@ def _tensor_stencil(idx_per_dim, vals_per_dim, fine_shape):
 
 
 def build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval="horner",
-                        fuse_budget=DEFAULT_FUSE_BUDGET, build_matrix=True):
+                        fuse_budget=DEFAULT_FUSE_BUDGET, build_matrix=True,
+                        store=None, points_digest=None):
     """Build the stencil cache for one point set.
 
     Parameters
@@ -161,9 +169,42 @@ def build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval="horner",
         Maximum fused entry count ``M * w^d`` (see :data:`DEFAULT_FUSE_BUDGET`).
     build_matrix : bool
         Whether to assemble the CSR operator (requires scipy and a fused cache).
+    store : ArtifactStore, optional
+        Warm-state store (kind ``"stencil"``).  With ``points_digest`` also
+        given, the cache is served from the store when present and persisted
+        (single-flight) when built, keyed by the digest plus every kernel
+        parameter above -- a restarted process with the same points skips the
+        whole build.
+    points_digest : str, optional
+        Content digest of the nonuniform points (e.g.
+        :meth:`repro.service.TransformRequest.points_key`).  Required for
+        store participation: the grid coordinates themselves are too large to
+        key on.
     """
     if kernel_eval not in ("horner", "exact"):
         raise ValueError(f"kernel_eval must be 'horner' or 'exact', got {kernel_eval!r}")
+    if store is not None and points_digest is not None:
+        key = stencil_cache_key(points_digest, fine_shape, kernel, kernel_eval,
+                                fuse_budget, build_matrix)
+        arrays = store.get_or_build(
+            "stencil", key,
+            lambda: stencil_cache_arrays(_build_stencil_cache(
+                grid_coords, fine_shape, kernel, kernel_eval, fuse_budget,
+                build_matrix, store=store,
+            )),
+        )
+        cache = stencil_cache_from_arrays(arrays)
+        if cache is not None:
+            return cache
+        # Deserialization impossible (e.g. a matrix-bearing entry without
+        # scipy): fall through to a fresh build.
+    return _build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval,
+                                fuse_budget, build_matrix, store=store)
+
+
+def _build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval,
+                         fuse_budget, build_matrix, store=None):
+    """The actual build (no store lookup); see :func:`build_stencil_cache`."""
     ndim = len(fine_shape)
     w = kernel.width
     use_horner = kernel_eval == "horner" and hasattr(kernel, "evaluate_offsets_horner")
@@ -175,7 +216,7 @@ def build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval="horner",
         i0 = np.ceil(g - 0.5 * w).astype(np.int64)
         frac = g - i0
         if use_horner:
-            vals = kernel.evaluate_offsets_horner(frac)
+            vals = kernel.evaluate_offsets_horner(frac, store=store)
         else:
             vals = kernel.evaluate_offsets(frac)
         i0_list.append(i0)
@@ -209,4 +250,80 @@ def build_stencil_cache(grid_coords, fine_shape, kernel, kernel_eval="horner",
         weights=weights,
         interp_matrix=matrix,
         kernel_eval="horner" if use_horner else "exact",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# artifact-store serialization
+# --------------------------------------------------------------------------- #
+def stencil_cache_key(points_digest, fine_shape, kernel, kernel_eval,
+                      fuse_budget, build_matrix):
+    """The artifact key one stencil cache is stored under.
+
+    Every input that shapes the cache's contents participates: the points
+    digest, the fine-grid geometry, the kernel parameters, the evaluation
+    mode and the fusion knobs.  Two processes computing the same key are
+    guaranteed bit-identical caches (the build is deterministic).
+    """
+    grid = "x".join(str(int(n)) for n in fine_shape)
+    return (f"pts={points_digest}.grid={grid}.w={int(kernel.width)}"
+            f".beta={float(kernel.beta):.9g}.eval={kernel_eval}"
+            f".budget={int(fuse_budget)}.matrix={int(bool(build_matrix))}")
+
+
+def stencil_cache_arrays(cache):
+    """Flatten a :class:`StencilCache` into a ``{name: ndarray}`` payload.
+
+    The per-dimension lists are stacked into single ``(ndim, ...)`` members:
+    npz access cost is dominated by fixed per-member overhead (header parse,
+    CRC, allocation), so fewer, larger members load measurably faster --
+    that load is the warm path's floor.
+    """
+    arrays = {
+        "fine_shape": np.asarray(cache.fine_shape, dtype=np.int64),
+        "width": np.asarray(cache.width, dtype=np.int64),
+        "kernel_eval": np.asarray(cache.kernel_eval),
+        "i0": np.stack(cache.i0),
+        "idx": np.stack(cache.idx),
+        "vals": np.stack(cache.vals),
+    }
+    if cache.flat_idx is not None:
+        arrays["flat_idx"] = cache.flat_idx
+        arrays["weights"] = cache.weights
+    if cache.interp_matrix is not None:
+        arrays["csr_data"] = cache.interp_matrix.data
+        arrays["csr_indices"] = cache.interp_matrix.indices
+        arrays["csr_indptr"] = cache.interp_matrix.indptr
+    return arrays
+
+
+def stencil_cache_from_arrays(arrays):
+    """Rebuild a :class:`StencilCache` from :func:`stencil_cache_arrays`.
+
+    Returns ``None`` when the payload cannot be realized in this process
+    (a CSR-bearing entry without scipy available) -- the caller then falls
+    back to a fresh build.
+    """
+    fine_shape = tuple(int(n) for n in np.asarray(arrays["fine_shape"]))
+    ndim = len(fine_shape)
+    has_matrix = "csr_data" in arrays
+    if has_matrix and _sparse is None:  # pragma: no cover - images ship scipy
+        return None
+    matrix = None
+    if has_matrix:
+        m = int(arrays["i0"].shape[1])
+        matrix = _sparse.csr_matrix(
+            (arrays["csr_data"], arrays["csr_indices"], arrays["csr_indptr"]),
+            shape=(m, int(np.prod(fine_shape))),
+        )
+    return StencilCache(
+        fine_shape=fine_shape,
+        width=int(arrays["width"]),
+        i0=[arrays["i0"][d] for d in range(ndim)],
+        idx=[arrays["idx"][d] for d in range(ndim)],
+        vals=[arrays["vals"][d] for d in range(ndim)],
+        flat_idx=arrays.get("flat_idx"),
+        weights=arrays.get("weights"),
+        interp_matrix=matrix,
+        kernel_eval=str(arrays["kernel_eval"]),
     )

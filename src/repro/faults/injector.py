@@ -175,10 +175,9 @@ class FaultStats:
 
 def fault_seed_from_env(default=0):
     """The fault seed from ``REPRO_FAULT_SEED`` (``default`` when unset)."""
-    raw = os.environ.get(FAULT_SEED_ENV)
-    if raw is None or not raw.strip():
-        return int(default)
-    return int(raw)
+    from ..core.env import fault_seed
+
+    return fault_seed(default)
 
 
 # --------------------------------------------------------------------------- #

@@ -29,7 +29,6 @@ unit inside the spreader.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,8 +66,7 @@ def _exact_offsets(width, beta, frac):
     return ESKernel(width=width, beta=beta).evaluate_offsets(frac)
 
 
-@functools.lru_cache(maxsize=64)
-def horner_coefficients(width, beta):
+def horner_coefficients(width, beta, store=None):
     """Piecewise-polynomial (Horner) approximation of the ES kernel stencil.
 
     For each of the ``width`` grid nodes ``r`` covered by a point, the kernel
@@ -85,15 +83,37 @@ def horner_coefficients(width, beta):
     kernel's own approximation error, paper Eq. (6)) or the float64 floor,
     whichever is larger.
 
+    Fits are memoized in an :class:`~repro.artifacts.ArtifactStore` (kind
+    ``"horner"``, bounded in-memory entries; on-disk when the store has a
+    root), replacing the process-global ``functools.lru_cache`` of earlier
+    revisions.  ``store=None`` uses the process default
+    (:func:`repro.artifacts.default_store`), so a fit is still computed at
+    most once per process -- and at most once *ever* per shared store
+    directory.
+
     Returns
     -------
     ndarray, shape (width, degree + 1)
         ``coeffs[r, k]`` is the coefficient of ``u**k`` for node ``r``.
+        The array is read-only (it is shared between callers).
     """
-    from numpy.polynomial import chebyshev as _cheb
-
     width = int(width)
     beta = float(beta)
+    if store is None:
+        from ..artifacts import default_store
+
+        store = default_store()
+    key = f"w{width}.beta{beta:.9g}"
+    arrays = store.get_or_build(
+        "horner", key, lambda: {"coeffs": _fit_horner_coefficients(width, beta)}
+    )
+    return arrays["coeffs"]
+
+
+def _fit_horner_coefficients(width, beta):
+    """The adaptive Chebyshev-to-monomial fit behind :func:`horner_coefficients`."""
+    from numpy.polynomial import chebyshev as _cheb
+
     target = max(0.05 * 10.0 ** (1 - width), _HORNER_ERROR_FLOOR)
 
     frac_dense = np.linspace(width / 2.0 - 1.0, width / 2.0, 2001)
@@ -271,7 +291,7 @@ class ESKernel:
         dist = frac[:, None] - offsets[None, :]
         return self.evaluate_grid_distance(dist)
 
-    def evaluate_offsets_horner(self, frac):
+    def evaluate_offsets_horner(self, frac, store=None):
         """Horner-form piecewise-polynomial version of :meth:`evaluate_offsets`.
 
         Matches the exact form to better than ``0.1 * 10**(1-w)`` absolute
@@ -280,9 +300,11 @@ class ESKernel:
         the same trade upstream FINUFFT makes with its precomputed Horner
         coefficient tables.  ``frac`` must lie in the stencil's natural domain
         ``(w/2 - 1, w/2]`` (guaranteed when derived from ``i0 = ceil(g - w/2)``).
+        ``store`` selects the artifact store memoizing the coefficient fit
+        (the process default when ``None``).
         """
         frac = np.asarray(frac, dtype=np.float64)
-        coeffs = horner_coefficients(self.width, self.beta)
+        coeffs = horner_coefficients(self.width, self.beta, store=store)
         u = (2.0 * frac - (self.width - 1.0))[:, None]
         out = np.broadcast_to(coeffs[:, -1], (frac.shape[0], self.width)).copy()
         for k in range(coeffs.shape[1] - 2, -1, -1):

@@ -73,7 +73,9 @@ def write_results(name, text, directory=None):
     Returns the path written, or None when writing is disabled by setting the
     environment variable ``REPRO_NO_RESULT_FILES``.
     """
-    if os.environ.get("REPRO_NO_RESULT_FILES"):
+    from ..core.env import no_result_files
+
+    if no_result_files():
         return None
     directory = directory or os.path.join(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))), "results")

@@ -41,16 +41,39 @@ class PlanPool:
     max_plans : int
         Maximum number of live (idle) plans retained.  ``0`` disables pooling
         entirely: every release destroys the plan, every lease misses.
+    on_evict : callable or None
+        Called with each :class:`PooledPlan` *before* its plan is destroyed
+        (LRU eviction, device purge or ``clear``).  The service uses this to
+        persist the evicted plan's signature into the artifact store so a
+        restart can pre-warm it.  Exceptions from the callback are swallowed:
+        eviction must always reclaim the memory.
     """
 
-    def __init__(self, max_plans=32):
+    def __init__(self, max_plans=32, on_evict=None):
         max_plans = int(max_plans)
         if max_plans < 0:
             raise ValueError(f"max_plans must be >= 0, got {max_plans}")
         self.max_plans = max_plans
+        self.on_evict = on_evict
         self._idle = {}  # key -> list[PooledPlan]
         self._clock = itertools.count()
         self.n_idle = 0
+
+    def _destroy_entry(self, entry):
+        """Notify ``on_evict`` then destroy the plan (and its Workspace).
+
+        ``Plan.destroy`` releases the plan's device buffers -- fine grid,
+        cuFFT workspace, point/stencil state -- so pool bookkeeping must be
+        settled *before* this runs: the entry is already popped and
+        ``n_idle`` decremented by every caller, keeping counts right even if
+        destruction raises.
+        """
+        if self.on_evict is not None:
+            try:
+                self.on_evict(entry)
+            except Exception:
+                pass
+        entry.plan.destroy()
 
     # ------------------------------------------------------------------ #
     # lease / release
@@ -107,7 +130,7 @@ class PlanPool:
     def release(self, entry):
         """Return a leased plan to the pool, evicting beyond ``max_plans``."""
         if self.max_plans == 0:
-            entry.plan.destroy()
+            self._destroy_entry(entry)
             return
         entry.last_used = next(self._clock)
         self._idle.setdefault(entry.key, []).append(entry)
@@ -127,7 +150,7 @@ class PlanPool:
         if not self._idle[lru_key]:
             del self._idle[lru_key]
         self.n_idle -= 1
-        entry.plan.destroy()
+        self._destroy_entry(entry)
 
     def make_entry(self, plan, key):
         """Wrap a freshly created plan (counts as leased until released)."""
@@ -170,13 +193,15 @@ class PlanPool:
             for entry in self._idle.pop(key):
                 self.n_idle -= 1
                 purged += 1
-                entry.plan.destroy()
+                self._destroy_entry(entry)
         return purged
 
     def clear(self):
         """Destroy every idle plan."""
-        for bucket in self._idle.values():
-            for entry in bucket:
-                entry.plan.destroy()
-        self._idle = {}
+        while self._idle:
+            key, bucket = self._idle.popitem()
+            while bucket:
+                entry = bucket.pop()
+                self.n_idle -= 1
+                self._destroy_entry(entry)
         self.n_idle = 0

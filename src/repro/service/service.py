@@ -6,6 +6,7 @@ See :mod:`repro.service` for the package overview and a usage example.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +55,15 @@ class ServiceStats:
       :meth:`latency_percentiles` (p50/p95/p99 and max of queue-wait,
       batch-wait and end-to-end modelled latency, per tenant and per
       signature).
+
+    The warm-state surface (services constructed with ``artifact_store=``):
+    ``artifact_hits`` / ``artifact_misses`` / ``artifact_stale`` /
+    ``artifact_corrupt`` / ``artifact_builds`` mirror the store's
+    :class:`~repro.artifacts.ArtifactStats` counters accumulated since the
+    service was constructed (or metrics were last reset), and
+    ``plans_prewarmed`` counts pooled plans recreated from stored signatures
+    at startup.  A warmed steady state shows ``artifact_builds == 0``: every
+    stencil, Horner fit and PSF kernel came from the store.
     """
 
     requests_submitted: int = 0
@@ -66,8 +76,14 @@ class ServiceStats:
     solve_shards: int = 0
     solve_cg_iterations: int = 0
     plans_created: int = 0
+    plans_prewarmed: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_stale: int = 0
+    artifact_corrupt: int = 0
+    artifact_builds: int = 0
     setpts_skipped: int = 0
     setpts_executed: int = 0
     lease_hits: int = 0
@@ -246,6 +262,14 @@ class TransformService:
         On-disk tuning cache, so tuned configurations survive restarts.  A
         corrupt or partially-written file falls back to model-scored tuning
         (see :class:`~repro.tuning.TuningCache`).
+    artifact_store : ArtifactStore or str, optional
+        Unified warm-state store (or a directory path for one).  Every plan
+        the service creates loads/saves stencil caches and Horner fits
+        through it, Toeplitz solves load/save PSF kernels, tuning wisdom
+        persists under it (unless ``tuning_cache_path``/``tuner`` override),
+        and pooled plan signatures are recorded so a restarted service
+        **pre-warms** its pool before the first request.  Defaults to the
+        process store when ``REPRO_ARTIFACT_STORE`` is exported, else off.
     retry : RetryPolicy, optional
         Retry budget and deterministic backoff applied to retryable device
         faults (:class:`~repro.faults.DeviceFaultError` subclasses).  The
@@ -281,20 +305,40 @@ class TransformService:
                  shard_min_block=4, max_block=64,
                  dispatch_latency_s=2.0e-5, charge_plan_creation=True,
                  shared_host_link=True, tune="off", tuner=None,
-                 tuning_cache_path=None, retry=None, max_queue_depth=None,
-                 fault_injector=None, distributed_threshold_points=None,
+                 tuning_cache_path=None, artifact_store=None, retry=None,
+                 max_queue_depth=None, fault_injector=None,
+                 distributed_threshold_points=None,
                  distributed_ranks=4, distributed_node=None):
         self.fleet = fleet if fleet is not None else DeviceFleet(
             n_devices=n_devices, streams_per_device=streams_per_device
         )
         self.pool_plans = bool(pool_plans)
-        self.pool = PlanPool(max_plans if self.pool_plans else 0)
+        self.pool = PlanPool(max_plans if self.pool_plans else 0,
+                             on_evict=self._persist_plan_signature)
         self.coalesce = bool(coalesce)
         self.shard_min_block = max(1, int(shard_min_block))
         self.max_block = max(1, int(max_block))
         self.dispatch_latency_s = float(dispatch_latency_s)
         self.charge_plan_creation = bool(charge_plan_creation)
         self.shared_host_link = bool(shared_host_link)
+
+        # Warm-state artifact store: a path (or REPRO_ARTIFACT_STORE) makes
+        # every stencil cache, Horner fit, tuning record and PSF kernel this
+        # service computes survive restarts; pooled plan signatures are
+        # recorded too, so __init__ ends by pre-warming the pool from them.
+        from ..artifacts import ArtifactStore, default_store
+        from ..core.env import artifact_store_path
+
+        if artifact_store is None:
+            if artifact_store_path() is not None:
+                artifact_store = default_store()
+        elif isinstance(artifact_store, (str, os.PathLike)):
+            artifact_store = ArtifactStore(root=artifact_store)
+        self.artifact_store = artifact_store
+        self._artifact_base = (artifact_store.stats.snapshot()
+                               if artifact_store is not None else None)
+        self._prewarmed = 0
+
         from ..tuning import TUNE_MODES, Autotuner, TuningCache
 
         if tune not in TUNE_MODES:
@@ -309,6 +353,9 @@ class TransformService:
             self.tuner = None
         elif tuner is not None:
             self.tuner = tuner
+        elif tuning_cache_path is None and self.artifact_store is not None:
+            # Tuning wisdom joins the unified store (record kind "tuning").
+            self.tuner = Autotuner(cache=TuningCache(store=self.artifact_store))
         else:
             self.tuner = Autotuner(cache=TuningCache(tuning_cache_path))
         self.retry = retry if retry is not None else RetryPolicy()
@@ -348,6 +395,8 @@ class TransformService:
         self._host_frontier = 0.0
         self._host_link_frontier = 0.0
         self._closed = False
+        self._pre_warm()
+        self._sync_artifact_stats()
 
     # ------------------------------------------------------------------ #
     # request intake
@@ -456,6 +505,7 @@ class TransformService:
                     device = ranked[i % len(ranked)] if ranked else None
                     self._execute_shard(shard, results, device=device)
             self.stats.blocks_executed += 1
+        self._sync_artifact_stats()
         return [results[seq] for seq in sorted(results)]
 
     def _route_distributed(self, queue, results):
@@ -713,6 +763,7 @@ class TransformService:
         if health.evicted or health.draining or not alive:
             entry.plan.destroy()
         else:
+            self._persist_plan_signature(entry)
             self.pool.release(entry)
 
     def _execute_shard_inner(self, shard, req0, n_trans, entry, created,
@@ -878,7 +929,104 @@ class TransformService:
         return Plan(req.nufft_type, modes, n_trans=n_trans, eps=req.eps,
                     device=device, precision=req.precision, method=req.method,
                     backend=req.backend, isign=req.isign,
-                    tune=self.tune, tuner=self.tuner)
+                    tune=self.tune, tuner=self.tuner,
+                    artifact_store=self.artifact_store)
+
+    # ------------------------------------------------------------------ #
+    # warm state (artifact store)
+    # ------------------------------------------------------------------ #
+    def _persist_plan_signature(self, entry):
+        """Record an idle plan's geometry in the store (record kind "plans").
+
+        Called on every pool release and (via ``PlanPool.on_evict``) on every
+        eviction, so the store always lists the signatures a restarted
+        service should pre-warm.  Idempotent per signature: already-recorded
+        keys are skipped without rewriting the table.
+        """
+        store = self.artifact_store
+        if store is None:
+            return
+        try:
+            plan_key, n_trans, _device_id = entry.key
+            nufft_type, modes_key, eps, precision, method, backend, isign = plan_key
+            key = f"{plan_key}.n{int(n_trans)}"
+            if store.get_record("plans", key, count=False) is not None:
+                return
+            store.put_record("plans", key, {
+                "version": 1,
+                "nufft_type": int(nufft_type),
+                "modes": list(modes_key),
+                "eps": float(eps),
+                "precision": precision,
+                "method": method,
+                "backend": backend,
+                "isign": int(isign),
+                "n_trans": int(n_trans),
+            })
+        except Exception:
+            # Persistence is best-effort: a full disk or torn table must
+            # never take the serving path down.
+            pass
+
+    def _pre_warm(self):
+        """Recreate pooled plans recorded by a previous process.
+
+        Walks the store's ``"plans"`` records and constructs each signature's
+        plan on the least-loaded device, bounded by the pool's LRU capacity.
+        Plan construction pulls its stencil-independent state (kernel fit,
+        correction factors, cuFFT workspace) up front and the pre-warmed
+        entries carry ``points_key=None``, so the very first matching request
+        leases one via the unpointed fast path instead of planning.
+        Unreconstructible records (schema drift, bad values) are skipped.
+        """
+        store = self.artifact_store
+        if store is None or self.pool.max_plans == 0:
+            return
+        for key in store.record_keys("plans"):
+            if self.pool.n_idle >= self.pool.max_plans:
+                break
+            rec = store.get_record("plans", key, count=False)
+            if rec is None:
+                continue
+            try:
+                modes = rec["modes"]
+                if modes and modes[0] == "ndim":
+                    modes_arg = int(modes[1])
+                else:
+                    modes_arg = tuple(int(n) for n in modes)
+                n_trans = int(rec["n_trans"])
+                plan_key = plan_key_for(
+                    rec["nufft_type"], modes_arg, rec["eps"], rec["precision"],
+                    rec["method"], rec["backend"], rec["isign"],
+                )
+                device = self.fleet.least_loaded()
+                plan = Plan(rec["nufft_type"], modes_arg, n_trans=n_trans,
+                            eps=rec["eps"], device=device,
+                            precision=rec["precision"], method=rec["method"],
+                            backend=rec["backend"], isign=rec["isign"],
+                            tune=self.tune, tuner=self.tuner,
+                            artifact_store=store)
+            except Exception:
+                continue
+            entry = self.pool.make_entry(plan, (plan_key, n_trans,
+                                                device.device_id))
+            entry.device_id = device.device_id
+            self.pool.release(entry)
+            self._prewarmed += 1
+
+    def _sync_artifact_stats(self):
+        """Mirror the store's counters (since the last reset) into stats."""
+        store = self.artifact_store
+        self.stats.plans_prewarmed = self._prewarmed
+        if store is None:
+            return
+        snap = store.stats.snapshot()
+        base = self._artifact_base
+        self.stats.artifact_hits = snap["hits"] - base["hits"]
+        self.stats.artifact_misses = snap["misses"] - base["misses"]
+        self.stats.artifact_stale = snap["stale"] - base["stale"]
+        self.stats.artifact_corrupt = snap["corrupt"] - base["corrupt"]
+        self.stats.artifact_builds = snap["builds"] - base["builds"]
 
     # ------------------------------------------------------------------ #
     # inverse-NUFFT solves (see repro.solve)
@@ -1057,7 +1205,8 @@ class TransformService:
             lambda device: Plan(nufft_type, n_modes, n_trans=n_trans, eps=eps,
                                 device=device, precision=precision,
                                 method=method, backend=backend, isign=isign,
-                                tune=self.tune, tuner=self.tuner),
+                                tune=self.tune, tuner=self.tuner,
+                                artifact_store=self.artifact_store),
             allow_repoint=True, device=device,
         )
         if created:
@@ -1158,9 +1307,13 @@ class TransformService:
         self._host_frontier = 0.0
         self._host_link_frontier = 0.0
         self.stats = ServiceStats()
+        if self.artifact_store is not None:
+            self._artifact_base = self.artifact_store.stats.snapshot()
+        self._sync_artifact_stats()
 
     def report(self):
         """Multi-line human-readable serving summary."""
+        self._sync_artifact_stats()
         s = self.stats
         util = ", ".join(f"gpu{d}={u:.0%}" for d, u in enumerate(self.utilization()))
         tuning_lines = []
@@ -1169,6 +1322,14 @@ class TransformService:
             tuning_lines.append(
                 f"  tuning: {ts.tunings_computed} computed, {ts.cache_hits} "
                 f"cache hits, {len(self.tuner.cache)} cached signature(s)"
+            )
+        artifact_lines = []
+        if self.artifact_store is not None:
+            artifact_lines.append(
+                f"  artifacts: {s.artifact_hits} hits, {s.artifact_misses} "
+                f"misses, {s.artifact_stale} stale, {s.artifact_corrupt} "
+                f"corrupt, {s.artifact_builds} builds, {s.plans_prewarmed} "
+                f"plan(s) pre-warmed ({self.artifact_store.describe()})"
             )
         return "\n".join([
             f"TransformService: {self.fleet.n_devices} device(s), "
@@ -1188,6 +1349,7 @@ class TransformService:
                 for name, count in sorted(s.failures_by_type.items()))]
               if s.failures_by_type else []),
             *tuning_lines,
+            *artifact_lines,
             *s.report(),
             f"  modelled: makespan {1e3 * self.makespan():.3f} ms, "
             f"{self.throughput_rps():.0f} req/s, exec util [{util}]",

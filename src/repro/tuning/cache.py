@@ -1,10 +1,16 @@
 """Persistent on-disk cache of tuned plan configurations.
 
-The cache is the plan-time analogue of FFTW "wisdom": one JSON file mapping
+The cache is the plan-time analogue of FFTW "wisdom": one JSON table mapping
 :meth:`~repro.tuning.signature.ProblemSignature.key` strings to tuning
 records, shared by every :class:`~repro.core.plan.Plan`, the
 :class:`~repro.service.TransformService` plan pool and the benchmark harness
 that point at the same path.
+
+Since PR 10 the class is a thin adapter over the unified warm-state
+:class:`~repro.artifacts.ArtifactStore` (record kind ``"tuning"``), so
+tuning wisdom shares one persistence layer -- and one robustness contract --
+with stencil caches, Horner fits and PSF kernels.  The on-disk layout is
+unchanged, so existing ``REPRO_TUNING_CACHE`` files keep working.
 
 Robustness contract (pinned by ``tests/test_tuning.py``):
 
@@ -21,10 +27,7 @@ Robustness contract (pinned by ``tests/test_tuning.py``):
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
-import threading
 
 __all__ = ["TuningCache", "SCHEMA_VERSION"]
 
@@ -66,7 +69,13 @@ class TuningCache:
     path : str or None
         JSON file to persist to.  ``None`` keeps the cache in memory only
         (the default for ad-hoc plans; services and benchmarks pass a path so
-        tuned configurations survive across processes).
+        tuned configurations survive across processes).  Ignored when
+        ``store`` has an on-disk root and no explicit path is wanted.
+    store : ArtifactStore, optional
+        Shared :class:`~repro.artifacts.ArtifactStore` to live in.  When
+        given with ``path=None``, the wisdom table persists under the store's
+        root (``<root>/tuning.json``); a private in-memory store backs the
+        cache otherwise.
 
     Examples
     --------
@@ -85,70 +94,40 @@ class TuningCache:
     True
     """
 
-    def __init__(self, path=None):
-        self.path = os.fspath(path) if path is not None else None
-        self._lock = threading.Lock()
-        self._entries = {}
-        #: Description of the last failed load (corrupt file), or None.
-        self.load_error = None
-        #: Number of entries skipped during load (bad schema/shape).
-        self.skipped_entries = 0
-        if self.path is not None:
-            self._load()
+    #: Record kind this adapter occupies in its artifact store.
+    KIND = "tuning"
+
+    def __init__(self, path=None, store=None):
+        path = os.fspath(path) if path is not None else None
+        if store is None:
+            from ..artifacts import ArtifactStore
+
+            store = ArtifactStore(root=None, kinds=False)
+        self.store = store
+        store.register_record_kind(self.KIND, SCHEMA_VERSION,
+                                   validate=_valid_record, path=path)
+        #: Effective backing file (None when purely in-memory).
+        self.path = store._record_kinds[self.KIND].path
 
     # ------------------------------------------------------------------ #
-    # persistence
+    # load diagnostics (delegated to the store's tolerant table load)
     # ------------------------------------------------------------------ #
-    def _load(self):
-        """Read the backing file, tolerating corruption and bad entries."""
-        if not os.path.exists(self.path):
-            return
-        try:
-            with open(self.path) as fh:
-                raw = json.load(fh)
-            if not isinstance(raw, dict) or not isinstance(raw.get("entries"), dict):
-                raise ValueError("tuning cache file has no 'entries' mapping")
-        except (OSError, ValueError) as exc:
-            # Corrupt / truncated / unreadable file: fall back to model-scored
-            # tuning on an empty cache rather than failing the transform.
-            self.load_error = f"{type(exc).__name__}: {exc}"
-            self._entries = {}
-            return
-        entries = {}
-        for key, record in raw["entries"].items():
-            if _valid_record(record):
-                entries[key] = record
-            else:
-                self.skipped_entries += 1
-        self._entries = entries
+    @property
+    def load_error(self):
+        """Description of the last failed load (corrupt file), or None."""
+        return self.store.record_load_error(self.KIND)
 
-    def _save_locked(self):
-        """Atomically rewrite the backing file (caller holds the lock)."""
-        if self.path is None:
-            return
-        payload = {"schema": SCHEMA_VERSION, "entries": self._entries}
-        directory = os.path.dirname(os.path.abspath(self.path)) or "."
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(prefix=".tuning-", suffix=".json", dir=directory)
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+    @property
+    def skipped_entries(self):
+        """Number of entries skipped during load (bad schema/shape)."""
+        return self.store.record_skipped(self.KIND)
 
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
     def get(self, key):
         """Return the record stored for ``key`` (a signature key), or None."""
-        with self._lock:
-            record = self._entries.get(str(key))
-            return dict(record) if record is not None else None
+        return self.store.get_record(self.KIND, str(key))
 
     def put(self, key, record):
         """Store ``record`` under ``key`` and persist (atomic) if file-backed."""
@@ -158,25 +137,18 @@ class TuningCache:
                 f"{_REQUIRED_FIELDS} (with opts fields {REQUIRED_OPTS_FIELDS}) "
                 f"at schema version {SCHEMA_VERSION}"
             )
-        with self._lock:
-            self._entries[str(key)] = dict(record)
-            self._save_locked()
+        self.store.put_record(self.KIND, str(key), record)
 
     def __len__(self):
-        with self._lock:
-            return len(self._entries)
+        return self.store.record_count(self.KIND)
 
     def __contains__(self, key):
-        with self._lock:
-            return str(key) in self._entries
+        return self.store.get_record(self.KIND, str(key), count=False) is not None
 
     def keys(self):
         """Snapshot of the cached signature keys."""
-        with self._lock:
-            return list(self._entries)
+        return self.store.record_keys(self.KIND)
 
     def clear(self):
         """Drop every entry (and rewrite the backing file if any)."""
-        with self._lock:
-            self._entries = {}
-            self._save_locked()
+        self.store.clear_records(self.KIND)

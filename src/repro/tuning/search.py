@@ -645,10 +645,9 @@ def default_autotuner():
     global _default_tuner
     with _default_tuner_lock:
         if _default_tuner is None:
-            import os
+            from ..core.env import tuning_cache_path
 
-            path = os.environ.get("REPRO_TUNING_CACHE") or None
-            _default_tuner = Autotuner(cache=TuningCache(path))
+            _default_tuner = Autotuner(cache=TuningCache(tuning_cache_path()))
         return _default_tuner
 
 

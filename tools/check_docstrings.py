@@ -27,6 +27,8 @@ if SRC not in sys.path:
 #: Audited modules and their per-symbol requirements.
 AUDITED = {
     "repro": {"require_examples": False},
+    "repro.artifacts": {"require_examples": False},
+    "repro.core.env": {"require_examples": False},
     "repro.core.simple": {"require_examples": True},
     "repro.core.workspace": {"require_examples": False},
     "repro.cluster.distributed": {"require_examples": False},
